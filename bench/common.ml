@@ -1,0 +1,75 @@
+(* Shared infrastructure for the experiment harness: uniform routing
+   runners, timing, and table printing. *)
+
+module Network = Nue_netgraph.Network
+module Topology = Nue_netgraph.Topology
+module Fault = Nue_netgraph.Fault
+module Table = Nue_routing.Table
+module Verify = Nue_routing.Verify
+module Nue = Nue_core.Nue
+module Fi = Nue_metrics.Forwarding_index
+module Tm = Nue_metrics.Throughput_model
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* A routing attempt: the table (if the algorithm is applicable), its
+   wall-clock time and an explanation on failure. *)
+type attempt = {
+  label : string;
+  table : (Table.t, string) result;
+  seconds : float;
+}
+
+let run_routing ?torus ?remap ~max_vls label net =
+  let torus_ctx () =
+    match (torus, remap) with
+    | Some t, Some r -> Ok (t, r)
+    | Some t, None -> Ok (t, Fault.identity t.Topology.net)
+    | None, _ -> Error "torus2qos: not a torus"
+  in
+  let compute () =
+    match label with
+    | "updown" -> Ok (Nue_routing.Updown.route net)
+    | "minhop" -> Ok (Nue_routing.Minhop.route net)
+    | "dfsssp" -> Nue_routing.Dfsssp.route ~max_vls net
+    | "lash" -> Nue_routing.Lash.route ~max_vls net
+    | "torus2qos" ->
+      (match torus_ctx () with
+       | Ok (t, r) -> Nue_routing.Torus2qos.route ~torus:t ~remap:r ()
+       | Error e -> Error e)
+    | _ ->
+      (match String.index_opt label '=' with
+       | Some i when String.sub label 0 i = "nue-k" || String.sub label 0 i = "nue" ->
+         let k = int_of_string (String.sub label (i + 1) (String.length label - i - 1)) in
+         Ok (Nue.route ~vcs:k net)
+       | _ -> Error (Printf.sprintf "unknown routing %S" label))
+  in
+  let table, seconds = time compute in
+  { label; table; seconds }
+
+let nue_labels k_max = List.init k_max (fun i -> Printf.sprintf "nue=%d" (i + 1))
+
+(* Fixed-width row printing. *)
+let print_header cols =
+  let line =
+    String.concat "" (List.map (fun (w, name) -> Printf.sprintf "%-*s" w name) cols)
+  in
+  print_endline line;
+  print_endline (String.make (String.length line) '-')
+
+let cell w s = Printf.sprintf "%-*s" w s
+
+let fmt_f1 v = Printf.sprintf "%.1f" v
+
+let fmt_f2 v = Printf.sprintf "%.2f" v
+
+let section title =
+  Printf.printf "\n== %s ==\n\n%!" title
+
+let describe net =
+  Printf.printf "network: %s (%d switches, %d terminals, %d inter-switch channels)\n\n"
+    (Network.name net) (Network.num_switches net) (Network.num_terminals net)
+    ((Network.num_channels net / 2) - Network.num_terminals net)

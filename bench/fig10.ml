@@ -1,0 +1,124 @@
+(* FIG10: all-to-all throughput on five standard and two real-world
+   topologies (Table 1), for every applicable routing and Nue with
+   k = 1..8 VCs.
+
+   The default run uses reduced-size instances of each topology family
+   with the analytic saturation model (plus flit-level simulation with
+   --sim); --full builds the exact Table 1 configurations. *)
+
+module Network = Nue_netgraph.Network
+module Topology = Nue_netgraph.Topology
+module Fault = Nue_netgraph.Fault
+module Table = Nue_routing.Table
+module Tm = Nue_metrics.Throughput_model
+module Sim = Nue_sim.Sim
+module Traffic = Nue_sim.Traffic
+module Prng = Nue_structures.Prng
+
+type instance = {
+  name : string;
+  net : Network.t;
+  torus : Topology.torus option;
+  tree : (int * int) option; (* (k, n) for fat-tree routing *)
+}
+
+let instances ~full =
+  if full then
+    [ { name = "random";
+        net = Topology.random (Prng.create 42) ~switches:125
+            ~inter_switch_links:1000 ~terminals_per_switch:8 ();
+        torus = None; tree = None };
+      (let t = Topology.torus3d ~dims:(6, 5, 5) ~terminals_per_switch:7 ~redundancy:4 () in
+       { name = "torus-6x5x5"; net = t.Topology.net; torus = Some t; tree = None });
+      { name = "10-ary-3-tree";
+        net = Topology.kary_ntree ~k:10 ~n:3 ~terminals_per_leaf:11 ();
+        torus = None; tree = Some (10, 3) };
+      { name = "kautz";
+        net = Topology.kautz ~degree:5 ~diameter:3 ~terminals_per_switch:7 ~redundancy:2 ();
+        torus = None; tree = None };
+      { name = "dragonfly";
+        net = Topology.dragonfly ~a:12 ~p:6 ~h:6 ~g:15 ();
+        torus = None; tree = None };
+      { name = "cascade"; net = Topology.cascade (); torus = None; tree = None };
+      { name = "tsubame2.5"; net = Topology.tsubame25 (); torus = None; tree = None } ]
+  else
+    [ { name = "random";
+        net = Topology.random (Prng.create 42) ~switches:48
+            ~inter_switch_links:250 ~terminals_per_switch:4 ();
+        torus = None; tree = None };
+      (let t = Topology.torus3d ~dims:(4, 4, 4) ~terminals_per_switch:3 ~redundancy:2 () in
+       { name = "torus-4x4x4"; net = t.Topology.net; torus = Some t; tree = None });
+      { name = "4-ary-3-tree";
+        net = Topology.kary_ntree ~k:4 ~n:3 ~terminals_per_leaf:4 ();
+        torus = None; tree = Some (4, 3) };
+      { name = "kautz";
+        net = Topology.kautz ~degree:3 ~diameter:3 ~terminals_per_switch:4 ~redundancy:2 ();
+        torus = None; tree = None };
+      { name = "dragonfly";
+        net = Topology.dragonfly ~a:6 ~p:3 ~h:3 ~g:7 ();
+        torus = None; tree = None } ]
+
+let run ~full ~sim () =
+  Common.section "FIG10: all-to-all throughput across topologies";
+  if not full then
+    print_endline
+      "(reduced-size instances; --full builds the exact Table 1 networks)\n";
+  let base = [ "updown"; "fattree"; "torus2qos"; "lash"; "dfsssp" ] in
+  let labels = base @ Common.nue_labels 8 in
+  List.iter
+    (fun inst ->
+       Common.describe inst.net;
+       let traffic =
+         if sim then
+           Some (Traffic.all_to_all_shift inst.net ~message_bytes:(if full then 2048 else 512))
+         else None
+       in
+       Common.print_header
+         [ (10, "routing"); (8, "VCs"); (10, "gamma_max"); (12, "model GB/s");
+           (10, "sim GB/s"); (9, "time s") ];
+       List.iter
+         (fun label ->
+            let attempt =
+              match (label, inst.tree) with
+              | "fattree", Some (k, n) ->
+                let table, seconds =
+                  Common.time (fun () -> Nue_routing.Fattree.route ~k ~n inst.net)
+                in
+                { Common.label; table; seconds }
+              | "fattree", None ->
+                { Common.label; table = Error "not a fat tree"; seconds = 0.0 }
+              | _ ->
+                Common.run_routing ?torus:inst.torus ~max_vls:8 label inst.net
+            in
+            match attempt.Common.table with
+            | Error e ->
+              if label = "fattree" || label = "torus2qos" then ()
+                (* silently skip impossible topology/routing combos,
+                   as the paper does *)
+              else
+                Printf.printf "%s(inapplicable: %s)\n%!" (Common.cell 10 label) e
+            | Ok table ->
+              let model = Tm.all_to_all table in
+              let sim_gbs =
+                match traffic with
+                | None -> "-"
+                | Some tr ->
+                  let out = Sim.run table ~traffic:tr in
+                  if out.Sim.deadlock then "DEADLOCK"
+                  else Common.fmt_f2 out.Sim.aggregate_gbs
+              in
+              Printf.printf "%s%s%s%s%s%s\n%!"
+                (Common.cell 10 label)
+                (Common.cell 8 (string_of_int (Nue_routing.Verify.vls_used table)))
+                (Common.cell 10 (Common.fmt_f1 model.Tm.gamma_max))
+                (Common.cell 12 (Common.fmt_f2 model.Tm.aggregate_gbs))
+                (Common.cell 10 sim_gbs)
+                (Common.cell 9 (Common.fmt_f2 attempt.Common.seconds)))
+         labels;
+       print_newline ())
+    (instances ~full);
+  print_endline
+    "Fig. 10 shape: Nue's throughput grows with k and approaches (or\n\
+     beats) the best applicable routing per topology; DFSSSP/LASH are\n\
+     strong where applicable; Up*/Down* trails; topology-aware routings\n\
+     only appear on their own topology."

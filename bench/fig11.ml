@@ -1,0 +1,64 @@
+(* FIG11: runtime and applicability of the deadlock-free routings on a
+   ladder of 3D tori with 1% injected link failures.
+
+   Paper setup: 25 tori from 2x2x2 to 10x10x10 (dimensions differing by
+   at most one), 4 terminals per switch, no link redundancy, 8 VCs
+   available, 1% random link failures. DFSSSP and LASH eventually run
+   out of VCs, Torus-2QoS eventually fails analytically; Nue routes
+   everything. The default ladder stops at 6x6x6; --full goes to
+   10x10x10. *)
+
+module Network = Nue_netgraph.Network
+module Topology = Nue_netgraph.Topology
+module Fault = Nue_netgraph.Fault
+module Prng = Nue_structures.Prng
+
+let ladder ~full =
+  let stop = if full then 10 else 6 in
+  let rec grow (a, b, c) acc =
+    let acc = (a, b, c) :: acc in
+    if a = stop && b = stop && c = stop then List.rev acc
+    else if c < b then grow (a, b, c + 1) acc
+    else if b < a then grow (a, b + 1, c) acc
+    else grow (a + 1, b, c) acc
+  in
+  (* 2x2x2, 2x2x3, 2x3x3, 3x3x3, ... — smallest dimension last. *)
+  grow (2, 2, 2) []
+  |> List.map (fun (a, b, c) -> (c, b, a))
+
+let run ~full () =
+  Common.section "FIG11: routing runtime on faulty 3D tori (1% link failures)";
+  let labels = [ "torus2qos"; "lash"; "dfsssp"; "nue=8" ] in
+  Common.print_header
+    ([ (10, "torus"); (10, "terminals") ]
+     @ List.map (fun l -> (12, l ^ " s")) labels);
+  let prng = Prng.create 11 in
+  List.iter
+    (fun (a, b, c) ->
+       let torus = Topology.torus3d ~dims:(a, b, c) ~terminals_per_switch:4 () in
+       let remap =
+         Fault.random_link_failures (Prng.split prng) torus.Topology.net
+           ~fraction:0.01
+       in
+       let net = remap.Fault.net in
+       let cells =
+         List.map
+           (fun label ->
+              let att = Common.run_routing ~torus ~remap ~max_vls:8 label net in
+              match att.Common.table with
+              | Ok _ -> Common.fmt_f2 att.Common.seconds
+              | Error _ -> "FAIL")
+           labels
+       in
+       Printf.printf "%s%s%s\n%!"
+         (Common.cell 10 (Printf.sprintf "%dx%dx%d" a b c))
+         (Common.cell 10 (string_of_int (Network.num_terminals net)))
+         (String.concat "" (List.map (Common.cell 12) cells)))
+    (ladder ~full);
+  print_newline ();
+  print_endline
+    "Fig. 11 shape: Torus-2QoS is the fastest where applicable (it avoids\n\
+     deadlocks analytically) but fails on unlucky failure patterns;\n\
+     DFSSSP/LASH drop out when their VC requirement exceeds 8; Nue is\n\
+     never marked FAIL and its runtime stays within a small factor of\n\
+     DFSSSP's O(N^2 log N)."

@@ -1,0 +1,107 @@
+(* FIG9 + SEC51: edge-forwarding-index statistics over random
+   topologies, plus the Section 5.1 path-length and escape-fallback
+   numbers.
+
+   Paper setup: 1,000 random topologies with 125 switches, 1,000
+   inter-switch channels and 8 terminals per switch; routings LASH,
+   DFSSSP and Nue with 1..8 VCs; report Gamma_min/max/avg/sd averaged
+   over the topologies (box plot of Fig. 9). The default run uses fewer,
+   smaller topologies; --full uses the paper's dimensions (pass --topos
+   to control the count). *)
+
+module Network = Nue_netgraph.Network
+module Topology = Nue_netgraph.Topology
+module Fi = Nue_metrics.Forwarding_index
+module Ps = Nue_metrics.Pathstats
+module Table = Nue_routing.Table
+module Nue = Nue_core.Nue
+module Prng = Nue_structures.Prng
+
+type accum = {
+  mutable summaries : Fi.summary list;
+  mutable max_hops : int;
+  mutable hops_sum : float;
+  mutable fallback_pct_sum : float;
+  mutable applicable : int;
+}
+
+let fresh () =
+  { summaries = []; max_hops = 0; hops_sum = 0.0; fallback_pct_sum = 0.0;
+    applicable = 0 }
+
+let record acc table ~fallbacks =
+  let s = Fi.summarize table in
+  let p = Ps.compute table in
+  acc.summaries <- s :: acc.summaries;
+  if p.Ps.max_hops > acc.max_hops then acc.max_hops <- p.Ps.max_hops;
+  acc.hops_sum <- acc.hops_sum +. p.Ps.avg_hops;
+  let dests = float_of_int (Array.length table.Table.dests) in
+  acc.fallback_pct_sum <- acc.fallback_pct_sum +. (100.0 *. fallbacks /. dests);
+  acc.applicable <- acc.applicable + 1
+
+let run ~full ~topos () =
+  Common.section "FIG9/SEC51: edge forwarding index on random topologies";
+  let switches, links, terms =
+    if full then (125, 1000, 8) else (64, 500, 8)
+  in
+  let topos = match topos with Some t -> t | None -> if full then 1000 else 4 in
+  Printf.printf
+    "%d random topologies: %d switches, %d inter-switch channels, %d \
+     terminals/switch\n\n%!"
+    topos switches links terms;
+  let labels = [ "lash"; "dfsssp" ] @ Common.nue_labels 8 in
+  let acc = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace acc l (fresh ())) labels;
+  let prng = Prng.create 2016 in
+  for i = 1 to topos do
+    let net =
+      Topology.random (Prng.split prng) ~switches ~inter_switch_links:links
+        ~terminals_per_switch:terms ()
+    in
+    List.iter
+      (fun label ->
+         let a = Hashtbl.find acc label in
+         match String.index_opt label '=' with
+         | Some j ->
+           let k = int_of_string (String.sub label (j + 1) (String.length label - j - 1)) in
+           let table, stats = Nue.route_with_stats ~vcs:k net in
+           record a table
+             ~fallbacks:(float_of_int stats.Nue.fallbacks)
+         | None ->
+           (match (Common.run_routing ~max_vls:8 label net).Common.table with
+            | Ok table -> record a table ~fallbacks:0.0
+            | Error _ -> ()))
+      labels;
+    if i mod 10 = 0 then Printf.eprintf "  ... %d/%d topologies\n%!" i topos
+  done;
+  Common.print_header
+    [ (8, "routing"); (11, "applicable"); (10, "G_min"); (10, "G_avg");
+      (10, "G_sd"); (10, "G_max"); (9, "max_hops"); (9, "avg_hops");
+      (12, "fallback %") ];
+  List.iter
+    (fun label ->
+       let a = Hashtbl.find acc label in
+       if a.applicable = 0 then
+         Printf.printf "%s(never applicable)\n" (Common.cell 8 label)
+       else begin
+         let g = Fi.aggregate a.summaries in
+         let n = float_of_int a.applicable in
+         Printf.printf "%s%s%s%s%s%s%s%s%s\n"
+           (Common.cell 8 label)
+           (Common.cell 11 (Printf.sprintf "%d/%d" a.applicable topos))
+           (Common.cell 10 (Common.fmt_f1 g.Fi.min))
+           (Common.cell 10 (Common.fmt_f1 g.Fi.avg))
+           (Common.cell 10 (Common.fmt_f1 g.Fi.sd))
+           (Common.cell 10 (Common.fmt_f1 g.Fi.max))
+           (Common.cell 9 (string_of_int a.max_hops))
+           (Common.cell 9 (Common.fmt_f2 (a.hops_sum /. n)))
+           (Common.cell 12 (Common.fmt_f2 (a.fallback_pct_sum /. n)))
+       end)
+    labels;
+  print_newline ();
+  print_endline
+    "Fig. 9 shape: Nue approaches DFSSSP's balance once k >= 4 and both\n\
+     clearly beat LASH (higher G_min, lower G_max). Sec. 5.1 numbers:\n\
+     Nue k=1 falls back for ~1% of destinations on average (0-10% range),\n\
+     nearly 0% at k=8; Nue's worst-case path exceeds the shortest-path\n\
+     routings' by a few hops at small k."

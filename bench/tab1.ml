@@ -1,0 +1,40 @@
+(* TAB1: regenerate Table 1 — topology configurations used for the
+   throughput simulations of Fig. 10 — from the generators, confirming
+   switch/terminal/channel counts and link redundancy. *)
+
+module Network = Nue_netgraph.Network
+module Topology = Nue_netgraph.Topology
+module Prng = Nue_structures.Prng
+
+let configs () =
+  [ ("Random", (Topology.random (Prng.create 42) ~switches:125 ~inter_switch_links:1000 ~terminals_per_switch:8 ()), 1);
+    ("6x5x5 3D-Torus",
+     (Topology.torus3d ~dims:(6, 5, 5) ~terminals_per_switch:7 ~redundancy:4 ()).Topology.net, 4);
+    ("10-ary 3-tree", Topology.kary_ntree ~k:10 ~n:3 ~terminals_per_leaf:11 (), 1);
+    ("Kautz (d=5,k=3)",
+     Topology.kautz ~degree:5 ~diameter:3 ~terminals_per_switch:7 ~redundancy:2 (), 2);
+    ("Dragonfly (12,6,6,15)", Topology.dragonfly ~a:12 ~p:6 ~h:6 ~g:15 (), 1);
+    ("Cascade (2 groups)", Topology.cascade (), 1);
+    ("Tsubame2.5", Topology.tsubame25 (), 1) ]
+
+let run () =
+  Common.section "TAB1: topology configurations (Table 1)";
+  Common.print_header
+    [ (24, "Topology"); (10, "Switches"); (11, "Terminals"); (10, "Channels");
+      (3, "r") ];
+  List.iter
+    (fun (name, net, r) ->
+       let isl = (Network.num_channels net / 2) - Network.num_terminals net in
+       Printf.printf "%s%s%s%s%s\n"
+         (Common.cell 24 name)
+         (Common.cell 10 (string_of_int (Network.num_switches net)))
+         (Common.cell 11 (string_of_int (Network.num_terminals net)))
+         (Common.cell 10 (string_of_int isl))
+         (Common.cell 3 (string_of_int r)))
+    (configs ());
+  print_newline ();
+  print_endline
+    "Paper values: 125/1000/1000/1, 150/1050/1800/4, 300/1100/2000/1,\n\
+     150/1050/1500/2, 180/1080/1515/1, 192/1536/3072/1, 243/1407/3384/1.\n\
+     (The paper's Kautz caption says d=7; K(5,3) is the parameterization\n\
+     that reproduces the printed counts — see DESIGN.md.)"

@@ -1,0 +1,28 @@
+(* TOPO-STATS: structural characterization of every Table 1 network —
+   the sanity pass run before trusting any throughput comparison, and a
+   useful reference table in its own right (diameter/average distance
+   feed directly into the path-length expectations of Section 5.1). *)
+
+module Gm = Nue_netgraph.Graph_metrics
+
+let run () =
+  Common.section "TOPO-STATS: structural characterization (Table 1 networks)";
+  Common.print_header
+    [ (24, "topology"); (6, "diam"); (7, "radius"); (10, "avg d(sw)");
+      (11, "avg d(term)"); (8, "maxdeg"); (10, "bisect<=") ];
+  List.iter
+    (fun (name, net, _) ->
+       let m = Gm.analyze net in
+       Printf.printf "%s%s%s%s%s%s%s\n%!"
+         (Common.cell 24 name)
+         (Common.cell 6 (string_of_int m.Gm.diameter))
+         (Common.cell 7 (string_of_int m.Gm.radius))
+         (Common.cell 10 (Common.fmt_f2 m.Gm.avg_switch_distance))
+         (Common.cell 11 (Common.fmt_f2 m.Gm.avg_terminal_distance))
+         (Common.cell 8 (string_of_int m.Gm.max_degree))
+         (Common.cell 10 (string_of_int m.Gm.bisection_upper_bound)))
+    (Tab1.configs ());
+  print_newline ();
+  print_endline
+    "avg d(term) + 1 is the floor for any routing's average path length\n\
+     on that topology (compare the avg_hops columns of FIG9/ablations)."

@@ -1,0 +1,353 @@
+(* nue_route: command-line front end, mirroring how OpenSM operators
+   interact with routing engines.
+
+   Subcommands:
+     route    generate a topology, route it, verify, print statistics
+     sim      additionally run a flit-level all-to-all simulation
+     dump     print the linear forwarding table of one switch
+
+   Example:
+     nue_route route --topology torus --dims 4x4x3 --terminals 4 \
+       --algorithm nue --vcs 2 --kill-switches 5 *)
+
+open Cmdliner
+
+module Network = Nue_netgraph.Network
+module Topology = Nue_netgraph.Topology
+module Fault = Nue_netgraph.Fault
+module Table = Nue_routing.Table
+module Verify = Nue_routing.Verify
+module Prng = Nue_structures.Prng
+
+(* {1 Topology construction} *)
+
+let parse_dims s =
+  match String.split_on_char 'x' s with
+  | [ a; b; c ] -> (int_of_string a, int_of_string b, int_of_string c)
+  | _ -> failwith "expected DIMS like 4x4x3"
+
+let parse_dims_nd s =
+  Array.of_list (List.map int_of_string (String.split_on_char 'x' s))
+
+type built = {
+  net : Network.t;
+  torus : Topology.torus option;
+  tree : (int * int) option;
+}
+
+let build_topology ~topology ~dims ~terminals ~switches ~links ~seed
+    ~kill_switches ~link_failures ~file =
+  let base =
+    match topology with
+    | _ when file <> "" ->
+      { net = Nue_netgraph.Serialize.read_file file; torus = None; tree = None }
+    | "mesh" ->
+      { net = (Topology.mesh ~dims:(parse_dims_nd dims) ~terminals_per_switch:terminals ()).Topology.gnet;
+        torus = None; tree = None }
+    | "torusnd" ->
+      { net = (Topology.torus_nd ~dims:(parse_dims_nd dims) ~terminals_per_switch:terminals ()).Topology.gnet;
+        torus = None; tree = None }
+    | "hypercube" ->
+      { net = Topology.hypercube ~dim:switches ~terminals_per_switch:terminals ();
+        torus = None; tree = None }
+    | "full" ->
+      { net = Topology.fully_connected ~switches ~terminals_per_switch:terminals ();
+        torus = None; tree = None }
+    | "torus" ->
+      let t = Topology.torus3d ~dims:(parse_dims dims) ~terminals_per_switch:terminals () in
+      { net = t.Topology.net; torus = Some t; tree = None }
+    | "random" ->
+      { net =
+          Topology.random (Prng.create seed) ~switches
+            ~inter_switch_links:links ~terminals_per_switch:terminals ();
+        torus = None; tree = None }
+    | "fattree" ->
+      let k, n = (switches, 3) in
+      { net = Topology.kary_ntree ~k ~n:3 ~terminals_per_leaf:terminals ();
+        torus = None; tree = Some (k, n) }
+    | "dragonfly" ->
+      { net = Topology.dragonfly ~a:switches ~p:terminals ~h:(switches / 2)
+            ~g:(switches + 1) ();
+        torus = None; tree = None }
+    | "kautz" ->
+      { net = Topology.kautz ~degree:switches ~diameter:3
+            ~terminals_per_switch:terminals ();
+        torus = None; tree = None }
+    | "cascade" -> { net = Topology.cascade (); torus = None; tree = None }
+    | "tsubame" -> { net = Topology.tsubame25 (); torus = None; tree = None }
+    | other -> failwith (Printf.sprintf "unknown topology %S" other)
+  in
+  let remap =
+    if kill_switches <> [] then Fault.remove_switches base.net kill_switches
+    else if link_failures > 0.0 then
+      Fault.random_link_failures (Prng.create (seed + 1)) base.net
+        ~fraction:link_failures
+    else Fault.identity base.net
+  in
+  (base, remap)
+
+let route_table ~algorithm ~vcs (base, remap) =
+  let net = remap.Fault.net in
+  match algorithm with
+  | "nue" -> Ok (Nue_core.Nue.route ~vcs net)
+  | "minhop" -> Ok (Nue_routing.Minhop.route net)
+  | "updown" -> Ok (Nue_routing.Updown.route net)
+  | "dfsssp" -> Nue_routing.Dfsssp.route ~max_vls:vcs net
+  | "lash" -> Nue_routing.Lash.route ~max_vls:vcs net
+  | "torus2qos" ->
+    (match base.torus with
+     | Some torus -> Nue_routing.Torus2qos.route ~torus ~remap ()
+     | None -> Error "torus2qos requires --topology torus")
+  | "fattree" ->
+    (match base.tree with
+     | Some (k, n) -> Nue_routing.Fattree.route ~k ~n net
+     | None -> Error "fattree requires --topology fattree")
+  | "static-cdg" ->
+    let table, unreachable = Nue_routing.Static_cdg.route net in
+    Printf.printf "static-cdg: %d unreachable pairs\n" unreachable;
+    Ok table
+  | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+
+let report_table net table =
+  Format.printf "%a@." Network.pp net;
+  Printf.printf "algorithm: %s, %d destinations, %d VLs\n"
+    table.Table.algorithm
+    (Array.length table.Table.dests)
+    table.Table.num_vls;
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-16s %.0f\n" k v)
+    table.Table.info;
+  let r = Verify.check table in
+  Printf.printf "connected:      %b\n" r.Verify.connected;
+  Printf.printf "cycle-free:     %b\n" r.Verify.cycle_free;
+  Printf.printf "deadlock-free:  %b\n" r.Verify.deadlock_free;
+  let g = Nue_metrics.Forwarding_index.summarize table in
+  Printf.printf "edge forwarding index: min %.0f avg %.1f max %.0f sd %.1f\n"
+    g.Nue_metrics.Forwarding_index.min g.Nue_metrics.Forwarding_index.avg
+    g.Nue_metrics.Forwarding_index.max g.Nue_metrics.Forwarding_index.sd;
+  let p = Nue_metrics.Pathstats.compute table in
+  Printf.printf "paths: max %d hops, avg %.2f hops\n"
+    p.Nue_metrics.Pathstats.max_hops p.Nue_metrics.Pathstats.avg_hops;
+  let t = Nue_metrics.Throughput_model.all_to_all table in
+  Printf.printf "all-to-all saturation model: %.1f GB/s aggregate\n"
+    t.Nue_metrics.Throughput_model.aggregate_gbs;
+  if not (r.Verify.connected && r.Verify.deadlock_free) then exit 2
+
+(* {1 Common flags} *)
+
+let topology_t =
+  Arg.(value & opt string "torus"
+       & info [ "topology" ] ~docv:"NAME"
+           ~doc:"Topology family: torus, torusnd, mesh, hypercube, full, \
+                 random, fattree, dragonfly, kautz, cascade, tsubame.")
+
+let file_t =
+  Arg.(value & opt string ""
+       & info [ "file" ] ~docv:"PATH"
+           ~doc:"Load the network from a file (overrides --topology).")
+
+let dims_t =
+  Arg.(value & opt string "4x4x3"
+       & info [ "dims" ] ~docv:"AxBxC" ~doc:"Torus dimensions.")
+
+let terminals_t =
+  Arg.(value & opt int 2
+       & info [ "terminals" ] ~docv:"N" ~doc:"Terminals per switch/leaf.")
+
+let switches_t =
+  Arg.(value & opt int 32
+       & info [ "switches" ] ~docv:"N"
+           ~doc:"Switch count (random) or k/a/degree parameter (others).")
+
+let links_t =
+  Arg.(value & opt int 128
+       & info [ "links" ] ~docv:"N" ~doc:"Inter-switch links (random).")
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let algorithm_t =
+  Arg.(value & opt string "nue"
+       & info [ "algorithm"; "a" ] ~docv:"ALGO"
+           ~doc:"nue, minhop, updown, dfsssp, lash, torus2qos, fattree.")
+
+let vcs_t =
+  Arg.(value & opt int 4
+       & info [ "vcs" ] ~docv:"K" ~doc:"Available virtual channels.")
+
+let kill_t =
+  Arg.(value & opt (list int) []
+       & info [ "kill-switches" ] ~docv:"IDS"
+           ~doc:"Comma-separated switch ids to fail.")
+
+let linkfail_t =
+  Arg.(value & opt float 0.0
+       & info [ "link-failures" ] ~docv:"FRACTION"
+           ~doc:"Fraction of inter-switch links to fail randomly.")
+
+let build_t =
+  let make topology dims terminals switches links seed kill linkfail file =
+    build_topology ~topology ~dims ~terminals ~switches ~links ~seed
+      ~kill_switches:kill ~link_failures:linkfail ~file
+  in
+  Term.(const make $ topology_t $ dims_t $ terminals_t $ switches_t $ links_t
+        $ seed_t $ kill_t $ linkfail_t $ file_t)
+
+(* {1 Subcommands} *)
+
+let route_cmd =
+  let run built algorithm vcs =
+    match route_table ~algorithm ~vcs built with
+    | Ok table -> report_table (snd built).Fault.net table
+    | Error e ->
+      Printf.eprintf "routing failed: %s\n" e;
+      exit 1
+  in
+  Cmd.v (Cmd.info "route" ~doc:"Route a topology and verify the result")
+    Term.(const run $ build_t $ algorithm_t $ vcs_t)
+
+let sim_cmd =
+  let run built algorithm vcs message_bytes =
+    match route_table ~algorithm ~vcs built with
+    | Error e ->
+      Printf.eprintf "routing failed: %s\n" e;
+      exit 1
+    | Ok table ->
+      let net = (snd built).Fault.net in
+      report_table net table;
+      let traffic = Nue_sim.Traffic.all_to_all_shift net ~message_bytes in
+      let out = Nue_sim.Sim.run table ~traffic in
+      Printf.printf
+        "flit sim: %d/%d packets, %d cycles, deadlock=%b, %.2f GB/s, \
+         avg latency %.0f cycles\n"
+        out.Nue_sim.Sim.delivered_packets out.Nue_sim.Sim.total_packets
+        out.Nue_sim.Sim.cycles out.Nue_sim.Sim.deadlock
+        out.Nue_sim.Sim.aggregate_gbs out.Nue_sim.Sim.avg_packet_latency;
+      if out.Nue_sim.Sim.deadlock then exit 3
+  in
+  let bytes_t =
+    Arg.(value & opt int 2048
+         & info [ "message-bytes" ] ~docv:"B" ~doc:"All-to-all message size.")
+  in
+  Cmd.v (Cmd.info "sim" ~doc:"Route and run a flit-level all-to-all simulation")
+    Term.(const run $ build_t $ algorithm_t $ vcs_t $ bytes_t)
+
+let dump_cmd =
+  let run built algorithm vcs switch =
+    match route_table ~algorithm ~vcs built with
+    | Error e ->
+      Printf.eprintf "routing failed: %s\n" e;
+      exit 1
+    | Ok table ->
+      let net = (snd built).Fault.net in
+      if switch < 0 || switch >= Network.num_nodes net
+         || not (Network.is_switch net switch)
+      then begin
+        Printf.eprintf "no such switch %d\n" switch;
+        exit 1
+      end;
+      Printf.printf "linear forwarding table of switch %d (%s):\n" switch
+        table.Table.algorithm;
+      Array.iter
+        (fun dest ->
+           let c = Table.next table ~node:switch ~dest in
+           if c >= 0 then
+             Printf.printf "  dest %4d -> port to node %4d (channel %d)\n"
+               dest (Network.dst net c) c)
+        table.Table.dests
+  in
+  let switch_t =
+    Arg.(value & opt int 0 & info [ "switch" ] ~docv:"ID" ~doc:"Switch id.")
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Print one switch's forwarding table")
+    Term.(const run $ build_t $ algorithm_t $ vcs_t $ switch_t)
+
+let export_cmd =
+  let run built out dot lft algorithm vcs =
+    let net = (snd built).Fault.net in
+    if out <> "" then begin
+      Nue_netgraph.Serialize.write_file out net;
+      Printf.printf "wrote %s\n" out
+    end;
+    if dot <> "" then begin
+      let oc = open_out dot in
+      output_string oc (Nue_netgraph.Serialize.to_dot net);
+      close_out oc;
+      Printf.printf "wrote %s\n" dot
+    end;
+    if lft <> "" then begin
+      match route_table ~algorithm ~vcs built with
+      | Error e ->
+        Printf.eprintf "routing failed: %s\n" e;
+        exit 1
+      | Ok table ->
+        let oc = open_out lft in
+        output_string oc (Nue_routing.Lft.dump table);
+        close_out oc;
+        Printf.printf "wrote %s\n" lft
+    end
+  in
+  let out_t =
+    Arg.(value & opt string ""
+         & info [ "out" ] ~docv:"PATH" ~doc:"Write the network file here.")
+  in
+  let dot_t =
+    Arg.(value & opt string ""
+         & info [ "dot" ] ~docv:"PATH" ~doc:"Write a graphviz rendering here.")
+  in
+  let lft_t =
+    Arg.(value & opt string ""
+         & info [ "lft" ] ~docv:"PATH"
+             ~doc:"Route and write all forwarding tables here.")
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Write network/DOT/LFT files")
+    Term.(const run $ build_t $ out_t $ dot_t $ lft_t $ algorithm_t $ vcs_t)
+
+let compare_cmd =
+  let run built vcs =
+    let net = (snd built).Fault.net in
+    Format.printf "%a@.@." Network.pp net;
+    Printf.printf "%-11s %-9s %-10s %-10s %-9s %-12s %-8s\n" "routing"
+      "VLs" "gamma_max" "max_hops" "avg_hops" "model GB/s" "time s";
+    let algorithms =
+      [ "updown"; "minhop"; "lash"; "dfsssp"; "torus2qos"; "fattree"; "nue" ]
+    in
+    List.iter
+      (fun algorithm ->
+         let t0 = Unix.gettimeofday () in
+         match route_table ~algorithm ~vcs built with
+         | Error e ->
+           if algorithm <> "torus2qos" && algorithm <> "fattree" then
+             Printf.printf "%-11s (%s)\n" algorithm e
+           else if String.length e < 30 then
+             Printf.printf "%-11s (%s)\n" algorithm e
+         | Ok table ->
+           let dt = Unix.gettimeofday () -. t0 in
+           let r = Verify.check table in
+           let validity =
+             if r.Verify.connected && r.Verify.deadlock_free then ""
+             else "  INVALID!"
+           in
+           let g = Nue_metrics.Forwarding_index.summarize table in
+           let p = Nue_metrics.Pathstats.compute table in
+           let tm = Nue_metrics.Throughput_model.all_to_all table in
+           Printf.printf "%-11s %-9d %-10.0f %-10d %-9.2f %-12.1f %-8.2f%s\n"
+             algorithm
+             (Verify.vls_used table)
+             g.Nue_metrics.Forwarding_index.max
+             p.Nue_metrics.Pathstats.max_hops
+             p.Nue_metrics.Pathstats.avg_hops
+             tm.Nue_metrics.Throughput_model.aggregate_gbs dt validity)
+      algorithms
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run every applicable routing engine and compare quality")
+    Term.(const run $ build_t $ vcs_t)
+
+let () =
+  let info =
+    Cmd.info "nue_route" ~version:"1.0.0"
+      ~doc:"Deadlock-free routing on the complete channel dependency graph"
+  in
+  exit (Cmd.eval (Cmd.group info [ route_cmd; sim_cmd; dump_cmd; export_cmd; compare_cmd ]))

@@ -1,0 +1,51 @@
+(* Fail-in-place operation of a 3D torus (the paper's motivating
+   scenario, Fig. 1): switches die one after another; the topology-aware
+   Torus-2QoS routing eventually becomes inapplicable, while Nue keeps
+   routing every surviving configuration deadlock-free within the same
+   VC budget.
+
+   Run with: dune exec examples/fault_tolerant_torus.exe *)
+
+open Nue_netgraph
+module Nue = Nue_core.Nue
+module Verify = Nue_routing.Verify
+module Tm = Nue_metrics.Throughput_model
+module Prng = Nue_structures.Prng
+
+let () =
+  let torus = Topology.torus3d ~dims:(4, 4, 3) ~terminals_per_switch:2 () in
+  let prng = Prng.create 2024 in
+  let switches = Array.copy (Network.switches torus.Topology.net) in
+  Prng.shuffle prng switches;
+  Printf.printf "4x4x3 torus, killing switches one by one (4-VC budget)\n\n";
+  Printf.printf "%-8s %-12s %-22s %-22s\n" "faults" "terminals"
+    "torus2qos (model GB/s)" "nue k=4 (model GB/s)";
+  (try
+     for faults = 0 to 6 do
+       let dead = Array.to_list (Array.sub switches 0 faults) in
+       match Fault.remove_switches torus.Topology.net dead with
+       | exception Invalid_argument _ ->
+         Printf.printf "%-8d network disconnected; stopping\n" faults;
+         raise Exit
+       | remap ->
+         let net = remap.Fault.net in
+         let t2q =
+           match Nue_routing.Torus2qos.route ~torus ~remap () with
+           | Ok table ->
+             assert (Verify.deadlock_free table);
+             Printf.sprintf "%.1f" (Tm.all_to_all table).Tm.aggregate_gbs
+           | Error _ -> "INAPPLICABLE"
+         in
+         let nue_table = Nue.route ~vcs:4 net in
+         assert (Verify.deadlock_free nue_table);
+         assert (Verify.connected nue_table);
+         let nue = (Tm.all_to_all nue_table).Tm.aggregate_gbs in
+         Printf.printf "%-8d %-12d %-22s %-22.1f\n" faults
+           (Network.num_terminals net) t2q nue
+     done
+   with Exit -> ());
+  print_newline ();
+  print_endline
+    "Nue never becomes inapplicable: deadlock-freedom is enforced during\n\
+     path calculation, not by an analytical property of the (now broken)\n\
+     topology."

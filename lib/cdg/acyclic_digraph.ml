@@ -1,0 +1,109 @@
+(* Pearce & Kelly, "A dynamic topological sort algorithm for directed
+   acyclic graphs" (JEA 2006). The order is a permutation [ord] with
+   inverse [pos_of]. Inserting u -> v with ord.(v) < ord.(u) triggers a
+   local discovery: F = vertices reachable from v with order <= ord.(u),
+   B = vertices reaching u with order >= ord.(v). If u is in F the edge
+   closes a cycle. Otherwise the vertices of B ∪ F are reassigned to the
+   sorted pool of their old order slots, B first. *)
+
+type t = {
+  n : int;
+  succ : (int, int) Hashtbl.t array;
+  pred : (int, int) Hashtbl.t array;
+  ord : int array; (* vertex -> topological index *)
+  mutable distinct_edges : int;
+}
+
+let create n =
+  { n;
+    succ = Array.init n (fun _ -> Hashtbl.create 4);
+    pred = Array.init n (fun _ -> Hashtbl.create 4);
+    ord = Array.init n (fun i -> i);
+    distinct_edges = 0 }
+
+let mem_edge t u v = Hashtbl.mem t.succ.(u) v
+
+let multiplicity t u v =
+  match Hashtbl.find_opt t.succ.(u) v with
+  | None -> 0
+  | Some m -> m
+
+let num_edges t = t.distinct_edges
+
+let order t v = t.ord.(v)
+
+let bump t u v =
+  (match Hashtbl.find_opt t.succ.(u) v with
+   | None ->
+     Hashtbl.replace t.succ.(u) v 1;
+     Hashtbl.replace t.pred.(v) u 1;
+     t.distinct_edges <- t.distinct_edges + 1
+   | Some m ->
+     Hashtbl.replace t.succ.(u) v (m + 1);
+     Hashtbl.replace t.pred.(v) u (m + 1))
+
+exception Cycle
+
+let try_add_edge t u v =
+  if u = v then false
+  else if mem_edge t u v then begin
+    bump t u v;
+    true
+  end
+  else if t.ord.(u) < t.ord.(v) then begin
+    bump t u v;
+    true
+  end
+  else begin
+    let lower = t.ord.(v) and upper = t.ord.(u) in
+    (* Forward discovery from v, bounded by [upper]. *)
+    let f_seen = Hashtbl.create 16 in
+    let rec fwd x =
+      if x = u then raise Cycle;
+      if not (Hashtbl.mem f_seen x) then begin
+        Hashtbl.replace f_seen x ();
+        Hashtbl.iter
+          (fun y _ -> if t.ord.(y) <= upper then fwd y)
+          t.succ.(x)
+      end
+    in
+    match fwd v with
+    | exception Cycle -> false
+    | () ->
+      (* Backward discovery from u, bounded by [lower]. *)
+      let b_seen = Hashtbl.create 16 in
+      let rec bwd x =
+        if not (Hashtbl.mem b_seen x) then begin
+          Hashtbl.replace b_seen x ();
+          Hashtbl.iter
+            (fun y _ -> if t.ord.(y) >= lower then bwd y)
+            t.pred.(x)
+        end
+      in
+      bwd u;
+      (* Reassign: sort both sets by current order; their vertices get
+         the union of their old slots, B's before F's. *)
+      let to_sorted h =
+        let l = Hashtbl.fold (fun x () acc -> x :: acc) h [] in
+        List.sort (fun a b -> compare t.ord.(a) t.ord.(b)) l
+      in
+      let fs = to_sorted f_seen and bs = to_sorted b_seen in
+      let vertices = bs @ fs in
+      let slots =
+        List.sort compare (List.map (fun x -> t.ord.(x)) vertices)
+      in
+      List.iter2 (fun x s -> t.ord.(x) <- s) vertices slots;
+      bump t u v;
+      true
+  end
+
+let remove_edge t u v =
+  match Hashtbl.find_opt t.succ.(u) v with
+  | None | Some 0 -> invalid_arg "Acyclic_digraph.remove_edge: absent edge"
+  | Some 1 ->
+    Hashtbl.remove t.succ.(u) v;
+    Hashtbl.remove t.pred.(v) u;
+    t.distinct_edges <- t.distinct_edges - 1
+  | Some m ->
+    Hashtbl.replace t.succ.(u) v (m - 1);
+    Hashtbl.replace t.pred.(v) u (m - 1)

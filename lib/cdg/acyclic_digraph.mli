@@ -1,0 +1,36 @@
+(** Incrementally maintained acyclic digraph (Pearce-Kelly dynamic
+    topological order).
+
+    [try_add_edge] either inserts an edge, keeping the graph acyclic and
+    updating the topological order locally, or reports that the edge
+    would close a cycle and leaves the graph untouched. This is the
+    workhorse of the LASH layer assignment, where every candidate path
+    must be tested against a layer's dependency graph and rolled back
+    cheaply on failure (edge removal never invalidates a topological
+    order). *)
+
+type t
+
+val create : int -> t
+(** [create n]: vertices [0 .. n-1], no edges. *)
+
+val try_add_edge : t -> int -> int -> bool
+(** [try_add_edge g u v] adds [u -> v] (incrementing multiplicity) and
+    returns [true], unless the edge would create a cycle, in which case
+    the graph is unchanged and the result is [false]. Self-loops are
+    rejected. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Decrement multiplicity; removes the edge at zero.
+    @raise Invalid_argument if absent. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val multiplicity : t -> int -> int -> int
+
+val num_edges : t -> int
+(** Distinct edges currently present. *)
+
+val order : t -> int -> int
+(** Current topological index of a vertex (all indices distinct;
+    edges always point from lower to higher index). *)

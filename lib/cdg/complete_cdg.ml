@@ -1,0 +1,248 @@
+module Network = Nue_netgraph.Network
+
+type members = {
+  mutable chans : int list;
+  mutable edges : (int * int) list; (* (from, slot) *)
+  mutable size : int;
+}
+
+type t = {
+  net : Network.t;
+  succ : int array array;
+  succ_state : int array array; (* omega per edge, aligned with succ *)
+  pred : int array array;
+  pred_slot : int array array;
+  chan_state : int array; (* omega per channel *)
+  mutable next_id : int;
+  groups : (int, members) Hashtbl.t;
+  (* DFS scratch: visit stamps avoid clearing a visited array per search. *)
+  stamp : int array;
+  mutable clock : int;
+  mutable searches : int;
+  nedges : int;
+}
+
+let create net =
+  let nc = Network.num_channels net in
+  let succ = Array.make nc [||] in
+  let succ_state = Array.make nc [||] in
+  let pred_count = Array.make nc 0 in
+  let nedges = ref 0 in
+  for c = 0 to nc - 1 do
+    let u = Network.src net c and v = Network.dst net c in
+    let out = Network.out_channels net v in
+    (* Successors: channels leaving v, except those returning to u
+       (Definition 6 requires n_x <> n_z, excluding 180-degree turns
+       through any parallel channel). *)
+    let count = ref 0 in
+    for i = 0 to Array.length out - 1 do
+      if Network.dst net out.(i) <> u then incr count
+    done;
+    let s = Array.make !count 0 in
+    let j = ref 0 in
+    for i = 0 to Array.length out - 1 do
+      if Network.dst net out.(i) <> u then begin
+        s.(!j) <- out.(i);
+        incr j;
+        pred_count.(out.(i)) <- pred_count.(out.(i)) + 1
+      end
+    done;
+    succ.(c) <- s;
+    succ_state.(c) <- Array.make !count 0;
+    nedges := !nedges + !count
+  done;
+  let pred = Array.init nc (fun c -> Array.make pred_count.(c) 0) in
+  let pred_slot = Array.init nc (fun c -> Array.make pred_count.(c) 0) in
+  let fill = Array.make nc 0 in
+  for c = 0 to nc - 1 do
+    Array.iteri
+      (fun slot q ->
+         pred.(q).(fill.(q)) <- c;
+         pred_slot.(q).(fill.(q)) <- slot;
+         fill.(q) <- fill.(q) + 1)
+      succ.(c)
+  done;
+  { net; succ; succ_state; pred; pred_slot;
+    chan_state = Array.make nc 0;
+    next_id = 1;
+    groups = Hashtbl.create 64;
+    stamp = Array.make nc 0;
+    clock = 0;
+    searches = 0;
+    nedges = !nedges }
+
+let network t = t.net
+
+let num_channels t = Array.length t.succ
+
+let num_edges t = t.nedges
+
+let succ t c = t.succ.(c)
+
+let pred t c = t.pred.(c)
+
+let pred_slot t c = t.pred_slot.(c)
+
+let find_slot t ~from ~to_ =
+  let s = t.succ.(from) in
+  let rec go i =
+    if i >= Array.length s then None
+    else if s.(i) = to_ then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let channel_omega t c = t.chan_state.(c)
+
+let edge_omega t ~from ~slot = t.succ_state.(from).(slot)
+
+let group t id =
+  match Hashtbl.find_opt t.groups id with
+  | Some g -> g
+  | None ->
+    let g = { chans = []; edges = []; size = 0 } in
+    Hashtbl.replace t.groups id g;
+    g
+
+let use_channel t c =
+  if t.chan_state.(c) > 0 then t.chan_state.(c)
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    t.chan_state.(c) <- id;
+    let g = group t id in
+    g.chans <- c :: g.chans;
+    g.size <- 1;
+    id
+  end
+
+(* Relabel the smaller group into the larger; returns the surviving id. *)
+let merge t a b =
+  if a = b then a
+  else begin
+    let ga = group t a and gb = group t b in
+    let keep, keep_g, drop, drop_g =
+      if ga.size >= gb.size then a, ga, b, gb else b, gb, a, ga
+    in
+    List.iter (fun c -> t.chan_state.(c) <- keep) drop_g.chans;
+    List.iter (fun (f, s) -> t.succ_state.(f).(s) <- keep) drop_g.edges;
+    keep_g.chans <- List.rev_append drop_g.chans keep_g.chans;
+    keep_g.edges <- List.rev_append drop_g.edges keep_g.edges;
+    keep_g.size <- keep_g.size + drop_g.size;
+    Hashtbl.remove t.groups drop;
+    keep
+  end
+
+let mark_edge_used t ~from ~slot id =
+  t.succ_state.(from).(slot) <- id;
+  let g = group t id in
+  g.edges <- (from, slot) :: g.edges;
+  g.size <- g.size + 1
+
+(* Depth-first search for [target] starting at [start], following used
+   edges only (they all carry the same subgraph id, so no id filtering is
+   needed beyond the used test). Condition (d) of Section 4.6.1. *)
+let reaches t ~start ~target =
+  t.searches <- t.searches + 1;
+  t.clock <- t.clock + 1;
+  let stamp = t.clock in
+  let stack = ref [ start ] in
+  let found = ref false in
+  while (not !found) && !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | c :: rest ->
+      stack := rest;
+      if c = target then found := true
+      else if t.stamp.(c) <> stamp then begin
+        t.stamp.(c) <- stamp;
+        let s = t.succ.(c) and st = t.succ_state.(c) in
+        for i = 0 to Array.length s - 1 do
+          if st.(i) >= 1 then stack := s.(i) :: !stack
+        done
+      end
+  done;
+  !found
+
+let usable t ~from ~slot ~commit =
+  let state = t.succ_state.(from).(slot) in
+  if state = -1 then false (* (a) known to close a cycle *)
+  else if state >= 1 then true (* (b) already used, already acyclic *)
+  else begin
+    let q = t.succ.(from).(slot) in
+    let om_p = t.chan_state.(from) and om_q = t.chan_state.(q) in
+    if om_p = 0 || om_q = 0 || om_p <> om_q then begin
+      (* (c) connecting distinct (or fresh) acyclic subgraphs cannot
+         close a cycle. *)
+      if commit then begin
+        let id_p = use_channel t from in
+        let id_q = use_channel t q in
+        let id = merge t id_p id_q in
+        mark_edge_used t ~from ~slot id
+      end;
+      true
+    end
+    else if not (reaches t ~start:q ~target:from) then begin
+      (* (d) same subgraph but no used path back: still acyclic. *)
+      if commit then mark_edge_used t ~from ~slot om_p;
+      true
+    end
+    else begin
+      if commit then t.succ_state.(from).(slot) <- -1;
+      false
+    end
+  end
+
+let try_use_edge t ~from ~slot = usable t ~from ~slot ~commit:true
+
+let would_use_edge t ~from ~slot = usable t ~from ~slot ~commit:false
+
+let used_subgraph_acyclic t =
+  let nc = num_channels t in
+  let color = Array.make nc 0 in
+  let acyclic = ref true in
+  (* Iterative DFS with an explicit (vertex, next-slot) stack. *)
+  let stack = Stack.create () in
+  for start = 0 to nc - 1 do
+    if !acyclic && color.(start) = 0 && t.chan_state.(start) >= 1 then begin
+      color.(start) <- 1;
+      Stack.push (start, ref 0) stack;
+      while !acyclic && not (Stack.is_empty stack) do
+        let c, next = Stack.top stack in
+        let s = t.succ.(c) and st = t.succ_state.(c) in
+        let advanced = ref false in
+        while (not !advanced) && !next < Array.length s do
+          let i = !next in
+          incr next;
+          if st.(i) >= 1 then begin
+            let q = s.(i) in
+            if color.(q) = 1 then acyclic := false
+            else if color.(q) = 0 then begin
+              color.(q) <- 1;
+              Stack.push (q, ref 0) stack;
+              advanced := true
+            end
+          end
+        done;
+        if (not !advanced) && !next >= Array.length s then begin
+          color.(c) <- 2;
+          ignore (Stack.pop stack)
+        end
+      done;
+      Stack.clear stack
+    end
+  done;
+  !acyclic
+
+let count_states t ~used ~blocked ~unused =
+  Array.iter
+    (fun st ->
+       Array.iter
+         (fun s ->
+            if s = -1 then incr blocked
+            else if s = 0 then incr unused
+            else incr used)
+         st)
+    t.succ_state
+
+let cycle_searches t = t.searches

@@ -1,0 +1,84 @@
+(** Complete channel dependency graph with routing state
+    (paper Definition 6 and the omega bookkeeping of Section 4.6.1).
+
+    Vertices are the channels of the network; there is an edge
+    (c_p, c_q) whenever c_q continues where c_p ends without returning
+    to c_p's source node. Each vertex and edge carries the state of the
+    incrementally built induced CDG:
+
+    - omega = -1: the edge is {e blocked} — using it would close a cycle
+      (vertices are never blocked);
+    - omega = 0: {e unused};
+    - omega >= 1: {e used}, and the value identifies the vertex-disjoint
+      acyclic used subgraph the element belongs to.
+
+    [try_use_edge] implements Algorithm 3: the four conditions (a)-(d),
+    with a depth-first search only in case (d) and subgraph merges by
+    smaller-into-larger relabeling. All mutations keep the used
+    subgraph acyclic — this is the invariant Nue's deadlock-freedom
+    proof (Lemma 2) rests on. *)
+
+type t
+
+val create : Nue_netgraph.Network.t -> t
+(** Build the complete CDG of a network; everything starts unused. *)
+
+val network : t -> Nue_netgraph.Network.t
+
+val num_channels : t -> int
+
+val num_edges : t -> int
+(** |Ē|: number of channel-dependency edges. *)
+
+(** {1 Structure} *)
+
+val succ : t -> int -> int array
+(** Successor channels of a channel (the channels its packets can be
+    forwarded to next). Do not mutate. *)
+
+val pred : t -> int -> int array
+(** Predecessor channels. Do not mutate. *)
+
+val pred_slot : t -> int -> int array
+(** [pred_slot t c] aligns with [pred t c]: entry [i] is the slot [j]
+    such that [succ t (pred t c).(i)).(j) = c], i.e. the location of the
+    edge's state. Do not mutate. *)
+
+val find_slot : t -> from:int -> to_:int -> int option
+(** Slot of the edge [from -> to_] in [succ t from], if present. *)
+
+(** {1 State} *)
+
+val channel_omega : t -> int -> int
+(** 0 if the channel is unused, otherwise its subgraph id (>= 1). *)
+
+val edge_omega : t -> from:int -> slot:int -> int
+(** -1 blocked, 0 unused, >= 1 used (subgraph id). *)
+
+val use_channel : t -> int -> int
+(** Mark a channel used; returns its subgraph id (a fresh one if it was
+    unused). *)
+
+val try_use_edge : t -> from:int -> slot:int -> bool
+(** Algorithm 3 on edge [from -> succ.(from).(slot)]. Returns [true] and
+    marks the edge (and both endpoint channels) used if this keeps the
+    used subgraph acyclic; returns [false] and marks the edge blocked
+    otherwise. Blocked edges stay blocked: the used subgraph only grows,
+    so a once-detected cycle never disappears. *)
+
+val would_use_edge : t -> from:int -> slot:int -> bool
+(** Like [try_use_edge] but without committing: [true] iff the edge is
+    usable right now. Does not block the edge on failure. *)
+
+(** {1 Inspection (tests, metrics)} *)
+
+val used_subgraph_acyclic : t -> bool
+(** Global recheck that the used edges form an acyclic graph; O(|C|+|Ē|).
+    Intended for tests — the incremental invariant makes it always true. *)
+
+val count_states : t -> used:int ref -> blocked:int ref -> unused:int ref -> unit
+(** Tally edge states. *)
+
+val cycle_searches : t -> int
+(** Number of depth-first searches performed so far (condition (d) of
+    Section 4.6.1) — instruments how effective the omega memoization is. *)

@@ -1,0 +1,97 @@
+type t = {
+  n : int;
+  succ : (int, int) Hashtbl.t array; (* vertex -> (successor -> multiplicity) *)
+  mutable distinct_edges : int;
+}
+
+let create n =
+  { n; succ = Array.init n (fun _ -> Hashtbl.create 4); distinct_edges = 0 }
+
+let num_vertices t = t.n
+
+let add_edge t u v =
+  let h = t.succ.(u) in
+  match Hashtbl.find_opt h v with
+  | None ->
+    Hashtbl.replace h v 1;
+    t.distinct_edges <- t.distinct_edges + 1
+  | Some m -> Hashtbl.replace h v (m + 1)
+
+let remove_edge t u v =
+  let h = t.succ.(u) in
+  match Hashtbl.find_opt h v with
+  | None | Some 0 -> invalid_arg "Digraph.remove_edge: absent edge"
+  | Some 1 ->
+    Hashtbl.remove h v;
+    t.distinct_edges <- t.distinct_edges - 1
+  | Some m -> Hashtbl.replace h v (m - 1)
+
+let multiplicity t u v =
+  match Hashtbl.find_opt t.succ.(u) v with
+  | None -> 0
+  | Some m -> m
+
+let mem_edge t u v = multiplicity t u v > 0
+
+let num_edges t = t.distinct_edges
+
+let iter_succ t u f = Hashtbl.iter (fun v _ -> f v) t.succ.(u)
+
+(* Iterative 3-color DFS. [on_stack] tracks the grey path so a back edge
+   identifies a cycle, which we then reconstruct from the parent map. *)
+let find_cycle t =
+  let white = 0 and grey = 1 and black = 2 in
+  let color = Array.make t.n white in
+  let parent = Array.make t.n (-1) in
+  let found = ref None in
+  let rec visit u =
+    color.(u) <- grey;
+    (try
+       Hashtbl.iter
+         (fun v _ ->
+            if !found <> None then raise Exit;
+            if color.(v) = grey then begin
+              (* Cycle: v -> ... -> u -> v; walk parents from u to v. *)
+              let rec collect x acc =
+                if x = v then x :: acc else collect parent.(x) (x :: acc)
+              in
+              found := Some (collect u []);
+              raise Exit
+            end
+            else if color.(v) = white then begin
+              parent.(v) <- u;
+              visit v
+            end)
+         t.succ.(u)
+     with Exit -> ());
+    if !found = None then color.(u) <- black
+  in
+  (try
+     for u = 0 to t.n - 1 do
+       if color.(u) = white then visit u;
+       if !found <> None then raise Exit
+     done
+   with Exit -> ());
+  ignore white;
+  !found
+
+let is_acyclic t = find_cycle t = None
+
+let would_close_cycle t u v =
+  if u = v then true
+  else begin
+    (* Iterative DFS from v looking for u. *)
+    let seen = Hashtbl.create 64 in
+    let stack = Stack.create () in
+    Stack.push v stack;
+    let found = ref false in
+    while (not !found) && not (Stack.is_empty stack) do
+      let x = Stack.pop stack in
+      if x = u then found := true
+      else if not (Hashtbl.mem seen x) then begin
+        Hashtbl.replace seen x ();
+        Hashtbl.iter (fun y _ -> Stack.push y stack) t.succ.(x)
+      end
+    done;
+    !found
+  end

@@ -1,0 +1,66 @@
+module Network = Nue_netgraph.Network
+module Graph_algo = Nue_netgraph.Graph_algo
+module Complete_cdg = Nue_cdg.Complete_cdg
+
+type t = {
+  cdg : Complete_cdg.t;
+  tree : Graph_algo.tree;
+  mutable initial_deps : int;
+  memo : (int, int array) Hashtbl.t;
+}
+
+let next_toward t ~dest =
+  match Hashtbl.find_opt t.memo dest with
+  | Some a -> a
+  | None ->
+    let a =
+      Graph_algo.tree_next_channel (Complete_cdg.network t.cdg) t.tree ~dest
+    in
+    Hashtbl.replace t.memo dest a;
+    a
+
+let prepare cdg ~root ~dests =
+  let net = Complete_cdg.network cdg in
+  let tree = Graph_algo.spanning_tree net ~root in
+  let t = { cdg; tree; initial_deps = 0; memo = Hashtbl.create 64 } in
+  Array.iter
+    (fun dest ->
+       let next = next_toward t ~dest in
+       for node = 0 to Network.num_nodes net - 1 do
+         if node <> dest then begin
+           let c_out = next.(node) in
+           if c_out >= 0 then begin
+             ignore (Complete_cdg.use_channel cdg c_out);
+             (* Every tree channel into [node] can carry escape traffic
+                for [dest] (any source may sit behind it), except the
+                reverse of [c_out] (a U-turn is not a dependency). *)
+             Array.iter
+               (fun c_in ->
+                  if
+                    t.tree.Graph_algo.tree_channel.(c_in)
+                    && Network.src net c_in <> Network.dst net c_out
+                  then begin
+                    match Complete_cdg.find_slot cdg ~from:c_in ~to_:c_out with
+                    | None -> ()
+                    | Some slot ->
+                      if Complete_cdg.edge_omega cdg ~from:c_in ~slot = 0
+                      then begin
+                        let ok =
+                          Complete_cdg.try_use_edge cdg ~from:c_in ~slot
+                        in
+                        (* Tree-induced dependencies can never close a
+                           cycle. *)
+                        assert ok;
+                        t.initial_deps <- t.initial_deps + 1
+                      end
+                  end)
+               (Network.in_channels net node)
+           end
+         end
+       done)
+    dests;
+  t
+
+let tree t = t.tree
+
+let initial_dependencies t = t.initial_deps

@@ -1,0 +1,124 @@
+module Network = Nue_netgraph.Network
+module Complete_cdg = Nue_cdg.Complete_cdg
+module Table = Nue_routing.Table
+module Balance = Nue_routing.Balance
+module Prng = Nue_structures.Prng
+
+type options = {
+  strategy : Partition.strategy;
+  seed : int;
+  use_backtracking : bool;
+  use_shortcuts : bool;
+  global_weights : bool;
+  central_root : bool;
+}
+
+let default_options =
+  { strategy = Partition.Kway;
+    seed = 1;
+    use_backtracking = true;
+    use_shortcuts = true;
+    global_weights = true;
+    central_root = true }
+
+type run_stats = {
+  fallbacks : int;
+  backtracks : int;
+  shortcuts : int;
+  impasse_dests : int;
+  initial_deps : int;
+  cycle_searches : int;
+  roots : int array;
+}
+
+let route_with_stats ?(options = default_options) ?dests ?sources ~vcs net =
+  if vcs < 1 then invalid_arg "Nue.route: vcs must be >= 1";
+  let dests = match dests with Some d -> d | None -> Network.terminals net in
+  let sources =
+    match sources with Some s -> s | None -> Network.terminals net
+  in
+  let prng = Prng.create options.seed in
+  let subsets =
+    Partition.partition ~strategy:options.strategy ~prng net ~dests ~k:vcs
+  in
+  (* Route each layer's destinations in random order: consecutive ids sit
+     next to each other on regular topologies and build systematically
+     conflicting dependencies, which measurably inflates impasse counts
+     (see EXPERIMENTS.md). The shuffle is seeded, so runs stay
+     deterministic. *)
+  Array.iter (fun subset -> Prng.shuffle prng subset) subsets;
+  let nn = Network.num_nodes net in
+  let nc = Network.num_channels net in
+  let dest_pos = Array.make nn (-1) in
+  Array.iteri (fun i d -> dest_pos.(d) <- i) dests;
+  let next_channel = Array.map (fun _ -> Array.make nn (-1)) dests in
+  let layer_of_dest = Array.make (Array.length dests) 0 in
+  let stats = Nue_dijkstra.fresh_stats () in
+  let initial_deps = ref 0 in
+  let cycle_searches = ref 0 in
+  let roots = ref [] in
+  let global_weights = Array.make nc 1.0 in
+  let scale = Balance.tie_break_scale ~sources ~dests in
+  Array.iteri
+    (fun layer subset ->
+       if Array.length subset > 0 then begin
+         let root =
+           if options.central_root then Rootsel.choose net ~dests:subset
+           else begin
+             let d = subset.(0) in
+             if Network.is_switch net d then d
+             else Network.terminal_attachment net d
+           end
+         in
+         roots := root :: !roots;
+         let cdg = Complete_cdg.create net in
+         let escape = Escape.prepare cdg ~root ~dests:subset in
+         initial_deps := !initial_deps + Escape.initial_dependencies escape;
+         let weights =
+           if options.global_weights then global_weights
+           else Array.make nc 1.0
+         in
+         Array.iter
+           (fun dest ->
+              let nexts =
+                Nue_dijkstra.route_destination cdg ~escape ~weights ~dest
+                  ~use_backtracking:options.use_backtracking
+                  ~use_shortcuts:options.use_shortcuts ~stats ()
+              in
+              let pos = dest_pos.(dest) in
+              Array.blit nexts 0 next_channel.(pos) 0 nn;
+              layer_of_dest.(pos) <- layer;
+              Balance.update_weights ~scale net ~weights ~nexts ~dest ~sources;
+              if options.global_weights && not (weights == global_weights)
+              then assert false)
+           subset;
+         cycle_searches := !cycle_searches + Complete_cdg.cycle_searches cdg
+       end)
+    subsets;
+  let run =
+    { fallbacks = stats.Nue_dijkstra.fallbacks;
+      backtracks = stats.Nue_dijkstra.backtracks;
+      shortcuts = stats.Nue_dijkstra.shortcuts;
+      impasse_dests = stats.Nue_dijkstra.impasse_dests;
+      initial_deps = !initial_deps;
+      cycle_searches = !cycle_searches;
+      roots = Array.of_list (List.rev !roots) }
+  in
+  let table =
+    Table.make ~net ~algorithm:(Printf.sprintf "nue-%dvl" vcs) ~dests
+      ~next_channel
+      ~vl:(Table.Per_dest layer_of_dest)
+      ~num_vls:vcs
+      ~info:
+        [ ("fallbacks", float_of_int run.fallbacks);
+          ("backtracks", float_of_int run.backtracks);
+          ("shortcuts", float_of_int run.shortcuts);
+          ("impasse_dests", float_of_int run.impasse_dests);
+          ("initial_deps", float_of_int run.initial_deps);
+          ("cycle_searches", float_of_int run.cycle_searches) ]
+      ()
+  in
+  (table, run)
+
+let route ?options ?dests ?sources ~vcs net =
+  fst (route_with_stats ?options ?dests ?sources ~vcs net)

@@ -1,0 +1,265 @@
+module Network = Nue_netgraph.Network
+module Complete_cdg = Nue_cdg.Complete_cdg
+module Fib_heap = Nue_structures.Fib_heap
+
+type stats = {
+  mutable fallbacks : int;
+  mutable backtracks : int;
+  mutable shortcuts : int;
+  mutable impasse_dests : int;
+}
+
+let fresh_stats () =
+  { fallbacks = 0; backtracks = 0; shortcuts = 0; impasse_dests = 0 }
+
+type state = {
+  cdg : Complete_cdg.t;
+  net : Network.t;
+  weights : float array;
+  dest : int;
+  ndist : float array;      (* node -> final distance to dest *)
+  tent : float array;       (* node -> best tentative key so far *)
+  used_channel : int array; (* node -> out-channel toward dest, -1 *)
+  routed : bool array;
+  heap : int Fib_heap.t;
+}
+
+(* Dependency slot of the edge [from -> to_]; both are channels. *)
+let edge_usable st ~from ~to_ =
+  match Complete_cdg.find_slot st.cdg ~from ~to_ with
+  | None -> false
+  | Some slot -> Complete_cdg.try_use_edge st.cdg ~from ~slot
+
+(* Expand a freshly routed node [n]: offer every in-channel a = (x, n)
+   whose key improves x's tentative distance (the relaxation condition
+   of Algorithm 1 line 13) and whose dependency onto n's used channel
+   keeps the CDG acyclic. Channels into the destination carry no onward
+   dependency. *)
+let expand st n =
+  let e = st.used_channel.(n) in
+  let inc = Network.in_channels st.net n in
+  for i = 0 to Array.length inc - 1 do
+    let a = inc.(i) in
+    let x = Network.src st.net a in
+    if not st.routed.(x) then begin
+      let key = st.ndist.(n) +. st.weights.(a) in
+      if key < st.tent.(x) then begin
+        let usable =
+          if n = st.dest then begin
+            ignore (Complete_cdg.use_channel st.cdg a);
+            true
+          end
+          else edge_usable st ~from:a ~to_:e
+        in
+        if usable then begin
+          st.tent.(x) <- key;
+          ignore (Fib_heap.insert st.heap ~key a)
+        end
+      end
+    end
+  done
+
+let finalize st node ~channel ~dist =
+  st.routed.(node) <- true;
+  st.used_channel.(node) <- channel;
+  st.ndist.(node) <- dist;
+  expand st node
+
+(* Main Dijkstra loop: pop candidate channels in key order; the first
+   pop routing a node fixes that node, later pops are stale. *)
+let drain st =
+  let rec go () =
+    match Fib_heap.extract_min st.heap with
+    | None -> ()
+    | Some (c, key) ->
+      let x = Network.src st.net c in
+      if not st.routed.(x) then finalize st x ~channel:c ~dist:key;
+      go ()
+  in
+  go ()
+
+(* Switch node [m]'s route to alternative out-channel [a] (Sections
+   4.6.2/4.6.3). Valid only if (a) the dependency from [a] onto the next
+   node's used channel holds, and (b) every upstream node that routes
+   through [m] *in the current routing step* keeps a cycle-checked
+   dependency against [a] (the paper restricts the check to dependencies
+   "calculated in the current routing step": other destinations'
+   forwarding through [m] is untouched by a per-destination switch).
+   Commits used/blocked edge states as it tests — a failed switch leaves
+   extra used edges behind, which is conservative but sound. *)
+let try_switch st m ~to_channel:a =
+  let x = Network.dst st.net a in
+  st.routed.(x)
+  && begin
+    let continue_ok =
+      if x = st.dest then begin
+        ignore (Complete_cdg.use_channel st.cdg a);
+        true
+      end
+      else edge_usable st ~from:a ~to_:(st.used_channel.(x))
+    in
+    continue_ok
+    && begin
+      let inc = Network.in_channels st.net m in
+      let ok = ref true in
+      let i = ref 0 in
+      while !ok && !i < Array.length inc do
+        let f = inc.(!i) in
+        incr i;
+        let y = Network.src st.net f in
+        (* y routes through m toward the current destination. *)
+        if st.routed.(y) && st.used_channel.(y) = f then
+          if not (edge_usable st ~from:f ~to_:a) then ok := false
+      done;
+      if !ok then begin
+        st.used_channel.(m) <- a;
+        st.ndist.(m) <- st.ndist.(x) +. st.weights.(a);
+        true
+      end
+      else false
+    end
+  end
+
+(* Try to route island node [w]: first a direct retry against each
+   routed neighbor's current channel, then by switching a neighbor to
+   one of its alternative out-channels (local backtracking with the
+   2-hop lookaround of Section 4.6.2). Candidates are tried cheapest
+   first. *)
+let solve_island st w =
+  let adj = Network.out_channels st.net w in
+  let candidates = ref [] in
+  Array.iter
+    (fun c ->
+       let m = Network.dst st.net c in
+       if st.routed.(m) then begin
+         let direct = st.ndist.(m) +. st.weights.(c) in
+         candidates := (direct, c, None) :: !candidates;
+         if m <> st.dest then
+           (* Alternative continuations of m. *)
+           Array.iter
+             (fun a ->
+                if a <> st.used_channel.(m) then begin
+                  let x = Network.dst st.net a in
+                  if
+                    st.routed.(x) && x <> w
+                    && Network.src st.net c <> Network.dst st.net a
+                  then begin
+                    let d =
+                      st.ndist.(x) +. st.weights.(a) +. st.weights.(c)
+                    in
+                    candidates := (d, c, Some a) :: !candidates
+                  end
+                end)
+             (Network.out_channels st.net m)
+       end)
+    adj;
+  let sorted =
+    List.sort (fun (d1, _, _) (d2, _, _) -> compare d1 d2) !candidates
+  in
+  let rec attempt = function
+    | [] -> false
+    | (dist, c, switch) :: rest ->
+      let m = Network.dst st.net c in
+      let committed =
+        match switch with
+        | None ->
+          if m = st.dest then begin
+            ignore (Complete_cdg.use_channel st.cdg c);
+            true
+          end
+          else edge_usable st ~from:c ~to_:(st.used_channel.(m))
+        | Some a ->
+          (* The island depends on c -> a; check it is not already
+             doomed before disturbing m. *)
+          (match Complete_cdg.find_slot st.cdg ~from:c ~to_:a with
+           | None -> false
+           | Some slot ->
+             Complete_cdg.edge_omega st.cdg ~from:c ~slot <> -1
+             && try_switch st m ~to_channel:a
+             && edge_usable st ~from:c ~to_:a)
+      in
+      if committed then begin
+        finalize st w ~channel:c ~dist;
+        true
+      end
+      else attempt rest
+  in
+  attempt sorted
+
+(* After an island is fixed, it may shorten already-routed neighbors
+   (Section 4.6.3): re-route x through w when that is strictly shorter
+   and x's local dependencies survive the change. *)
+let apply_shortcuts st w stats =
+  let inc = Network.in_channels st.net w in
+  for i = 0 to Array.length inc - 1 do
+    let g = inc.(i) in
+    let x = Network.src st.net g in
+    if
+      st.routed.(x) && x <> st.dest
+      && st.ndist.(w) +. st.weights.(g) < st.ndist.(x)
+    then
+      if try_switch st x ~to_channel:g then
+        stats.shortcuts <- stats.shortcuts + 1
+  done
+
+let fall_back_to_escape st escape =
+  let next = Escape.next_toward escape ~dest:st.dest in
+  let nn = Network.num_nodes st.net in
+  for node = 0 to nn - 1 do
+    if node <> st.dest then begin
+      st.used_channel.(node) <- next.(node);
+      st.routed.(node) <- next.(node) >= 0
+    end
+  done
+
+let route_destination cdg ~escape ~weights ~dest ?(use_backtracking = true)
+    ?(use_shortcuts = true) ~stats () =
+  let net = Complete_cdg.network cdg in
+  let nn = Network.num_nodes net in
+  let st =
+    { cdg; net; weights; dest;
+      ndist = Array.make nn infinity;
+      tent = Array.make nn infinity;
+      used_channel = Array.make nn (-1);
+      routed = Array.make nn false;
+      heap = Fib_heap.create () }
+  in
+  st.routed.(dest) <- true;
+  st.ndist.(dest) <- 0.0;
+  st.tent.(dest) <- 0.0;
+  expand st dest;
+  drain st;
+  let islands () =
+    let acc = ref [] in
+    for n = nn - 1 downto 0 do
+      if not st.routed.(n) then acc := n :: !acc
+    done;
+    !acc
+  in
+  let remaining = ref (islands ()) in
+  if !remaining <> [] then begin
+    stats.impasse_dests <- stats.impasse_dests + 1;
+    if use_backtracking then begin
+      let progress = ref true in
+      while !remaining <> [] && !progress do
+        progress := false;
+        List.iter
+          (fun w ->
+             if (not st.routed.(w)) && solve_island st w then begin
+               stats.backtracks <- stats.backtracks + 1;
+               if use_shortcuts then apply_shortcuts st w stats;
+               (* The island may unlock further nodes via the normal
+                  search. *)
+               drain st;
+               progress := true
+             end)
+          !remaining;
+        remaining := islands ()
+      done
+    end;
+    if !remaining <> [] then begin
+      stats.fallbacks <- stats.fallbacks + 1;
+      fall_back_to_escape st escape
+    end
+  end;
+  st.used_channel

@@ -1,0 +1,322 @@
+module Network = Nue_netgraph.Network
+module Prng = Nue_structures.Prng
+
+type strategy =
+  | Kway
+  | Random
+  | Clustered
+
+(* {1 Multilevel k-way partitioning}
+
+   Operates on a weighted switch graph: vertex weight = number of
+   destinations attached, edge weight = number of parallel links. The
+   three classic phases (Karypis & Kumar): coarsen by heavy-edge
+   matching, partition the small graph greedily, then uncoarsen with
+   boundary refinement at every level. *)
+
+type wgraph = {
+  vwgt : int array;                    (* vertex weights *)
+  adj : (int * int) list array;        (* (neighbor, edge weight) *)
+  coarse_of : int array;               (* fine vertex -> coarse vertex *)
+}
+
+let switch_graph net ~dest_weight =
+  let sw = Network.switches net in
+  let index = Array.make (Network.num_nodes net) (-1) in
+  Array.iteri (fun i s -> index.(s) <- i) sw;
+  let n = Array.length sw in
+  let vwgt = Array.make n 0 in
+  Array.iteri (fun i s -> vwgt.(i) <- dest_weight s) sw;
+  let edge_w = Hashtbl.create (4 * n) in
+  Array.iteri
+    (fun i s ->
+       let adj = Network.out_channels net s in
+       Array.iter
+         (fun c ->
+            let v = Network.dst net c in
+            if Network.is_switch net v then begin
+              let j = index.(v) in
+              if j > i then begin
+                let k = (i * n) + j in
+                Hashtbl.replace edge_w k
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt edge_w k))
+              end
+            end)
+         adj)
+    sw;
+  let adj = Array.make n [] in
+  Hashtbl.iter
+    (fun k w ->
+       let i = k / n and j = k mod n in
+       adj.(i) <- (j, w) :: adj.(i);
+       adj.(j) <- (i, w) :: adj.(j))
+    edge_w;
+  ({ vwgt; adj; coarse_of = [||] }, index)
+
+let num_vertices g = Array.length g.vwgt
+
+(* Heavy-edge matching: visit vertices in random order, match each
+   unmatched vertex with its heaviest unmatched neighbor. *)
+let coarsen prng g =
+  let n = num_vertices g in
+  let mate = Array.make n (-1) in
+  let order = Array.init n (fun i -> i) in
+  Prng.shuffle prng order;
+  Array.iter
+    (fun v ->
+       if mate.(v) < 0 then begin
+         let best = ref (-1) and best_w = ref min_int in
+         List.iter
+           (fun (u, w) -> if mate.(u) < 0 && u <> v && w > !best_w then begin
+              best := u;
+              best_w := w
+            end)
+           g.adj.(v);
+         if !best >= 0 then begin
+           mate.(v) <- !best;
+           mate.(!best) <- v
+         end
+         else mate.(v) <- v
+       end)
+    order;
+  let coarse_of = Array.make n (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if coarse_of.(v) < 0 then begin
+      coarse_of.(v) <- !count;
+      if mate.(v) >= 0 && mate.(v) <> v then coarse_of.(mate.(v)) <- !count;
+      incr count
+    end
+  done;
+  let cn = !count in
+  let vwgt = Array.make cn 0 in
+  for v = 0 to n - 1 do
+    vwgt.(coarse_of.(v)) <- vwgt.(coarse_of.(v)) + g.vwgt.(v)
+  done;
+  let edge_w = Hashtbl.create (4 * cn) in
+  Array.iteri
+    (fun v neigh ->
+       List.iter
+         (fun (u, w) ->
+            let cv = coarse_of.(v) and cu = coarse_of.(u) in
+            if cv < cu then begin
+              let k = (cv * cn) + cu in
+              Hashtbl.replace edge_w k
+                (w + Option.value ~default:0 (Hashtbl.find_opt edge_w k))
+            end)
+         neigh)
+    g.adj;
+  let adj = Array.make cn [] in
+  Hashtbl.iter
+    (fun k w ->
+       let i = k / cn and j = k mod cn in
+       adj.(i) <- (j, w) :: adj.(i);
+       adj.(j) <- (i, w) :: adj.(j))
+    edge_w;
+  { vwgt; adj; coarse_of }
+
+(* Greedy region growing on the coarsest graph: grow each part from a
+   random seed by absorbing the frontier vertex with the strongest
+   connection until the part reaches its weight quota. *)
+let initial_partition prng g k =
+  let n = num_vertices g in
+  let total = Array.fold_left ( + ) 0 g.vwgt in
+  let quota = (total + k - 1) / k in
+  let part = Array.make n (-1) in
+  let order = Array.init n (fun i -> i) in
+  Prng.shuffle prng order;
+  let next_seed = ref 0 in
+  let find_seed () =
+    let rec go () =
+      if !next_seed >= n then -1
+      else begin
+        let v = order.(!next_seed) in
+        incr next_seed;
+        if part.(v) < 0 then v else go ()
+      end
+    in
+    go ()
+  in
+  for p = 0 to k - 1 do
+    let seed = find_seed () in
+    if seed >= 0 then begin
+      let weight = ref 0 in
+      let gain = Hashtbl.create 64 in
+      Hashtbl.replace gain seed max_int;
+      let continue = ref true in
+      while !continue && !weight < quota do
+        (* Strongest-connected unassigned frontier vertex. *)
+        let best = ref (-1) and best_g = ref min_int in
+        Hashtbl.iter
+          (fun v gv ->
+             if part.(v) < 0 && (gv > !best_g || (gv = !best_g && v < !best))
+             then begin
+               best := v;
+               best_g := gv
+             end)
+          gain;
+        if !best < 0 then continue := false
+        else begin
+          let v = !best in
+          Hashtbl.remove gain v;
+          part.(v) <- p;
+          weight := !weight + g.vwgt.(v);
+          List.iter
+            (fun (u, w) ->
+               if part.(u) < 0 then
+                 Hashtbl.replace gain u
+                   (w + Option.value ~default:0 (Hashtbl.find_opt gain u)))
+            g.adj.(v)
+        end
+      done
+    end
+  done;
+  (* Any stragglers join their best-connected (or lightest) part. *)
+  for v = 0 to n - 1 do
+    if part.(v) < 0 then begin
+      let conn = Array.make k 0 in
+      List.iter
+        (fun (u, w) -> if part.(u) >= 0 then conn.(part.(u)) <- conn.(part.(u)) + w)
+        g.adj.(v);
+      let best = ref 0 in
+      for p = 1 to k - 1 do
+        if conn.(p) > conn.(!best) then best := p
+      done;
+      part.(v) <- !best
+    end
+  done;
+  part
+
+(* Boundary refinement: move a vertex to a neighboring part when that
+   reduces the cut without overloading the target part. A few sweeps
+   suffice at each level. *)
+let refine g k part =
+  let n = num_vertices g in
+  let total = Array.fold_left ( + ) 0 g.vwgt in
+  let quota = ((total + k - 1) / k) + (total / (8 * k)) + 1 in
+  let pweight = Array.make k 0 in
+  for v = 0 to n - 1 do
+    pweight.(part.(v)) <- pweight.(part.(v)) + g.vwgt.(v)
+  done;
+  let sweeps = 4 in
+  for _ = 1 to sweeps do
+    for v = 0 to n - 1 do
+      let home = part.(v) in
+      let conn = Array.make k 0 in
+      List.iter (fun (u, w) -> conn.(part.(u)) <- conn.(part.(u)) + w) g.adj.(v);
+      let best = ref home in
+      for p = 0 to k - 1 do
+        if
+          p <> home
+          && conn.(p) > conn.(!best)
+          && pweight.(p) + g.vwgt.(v) <= quota
+          && pweight.(home) - g.vwgt.(v) > 0
+        then best := p
+      done;
+      if !best <> home && conn.(!best) > conn.(home) then begin
+        pweight.(home) <- pweight.(home) - g.vwgt.(v);
+        pweight.(!best) <- pweight.(!best) + g.vwgt.(v);
+        part.(v) <- !best
+      end
+    done
+  done
+
+let kway_switch_partition prng net ~dest_weight ~k =
+  let g0, index = switch_graph net ~dest_weight in
+  (* Coarsening ladder. *)
+  let target = max (4 * k) 32 in
+  let rec ladder gs g =
+    if num_vertices g <= target then g :: gs
+    else begin
+      let c = coarsen prng g in
+      if num_vertices c >= num_vertices g then g :: gs else ladder (g :: gs) c
+    end
+  in
+  let coarsest, finer =
+    match ladder [] g0 with
+    | c :: f -> (c, f)
+    | [] -> assert false
+  in
+  let part = initial_partition prng coarsest k in
+  refine coarsest k part;
+  let part = ref part in
+  let prev = ref coarsest in
+  List.iter
+    (fun g ->
+       (* Project: [!prev] was obtained from [g] by [!prev].coarse_of...
+          no: [g] is the finer graph and [!prev] its coarsening, whose
+          [coarse_of] maps g's vertices to !prev's. *)
+       let fine_part =
+         Array.init (num_vertices g) (fun v -> !part.((!prev).coarse_of.(v)))
+       in
+       refine g k fine_part;
+       part := fine_part;
+       prev := g)
+    finer;
+  (!part, index)
+
+let partition ?(strategy = Kway) ?prng net ~dests ~k =
+  if k < 1 then invalid_arg "Partition.partition: k must be >= 1";
+  let prng = match prng with Some p -> p | None -> Prng.create 1 in
+  if k = 1 then [| Array.copy dests |]
+  else begin
+    let parts = Array.make k [] in
+    let sizes = Array.make k 0 in
+    let push p d =
+      parts.(p) <- d :: parts.(p);
+      sizes.(p) <- sizes.(p) + 1
+    in
+    (match strategy with
+     | Random ->
+       let shuffled = Array.copy dests in
+       Prng.shuffle prng shuffled;
+       Array.iteri (fun i d -> push (i mod k) d) shuffled
+     | Clustered ->
+       (* Destinations grouped by switch; groups dealt to the currently
+          lightest part. *)
+       let by_switch = Hashtbl.create 64 in
+       Array.iter
+         (fun d ->
+            let s =
+              if Network.is_switch net d then d
+              else Network.terminal_attachment net d
+            in
+            Hashtbl.replace by_switch s
+              (d :: Option.value ~default:[] (Hashtbl.find_opt by_switch s)))
+         dests;
+       let groups =
+         Hashtbl.fold (fun s ds acc -> (s, ds) :: acc) by_switch []
+         |> List.sort (fun (a, _) (b, _) -> compare a b)
+       in
+       List.iter
+         (fun (_, ds) ->
+            let lightest = ref 0 in
+            for p = 1 to k - 1 do
+              if sizes.(p) < sizes.(!lightest) then lightest := p
+            done;
+            List.iter (push !lightest) ds)
+         groups
+     | Kway ->
+       let dest_count = Array.make (Network.num_nodes net) 0 in
+       Array.iter
+         (fun d ->
+            let s =
+              if Network.is_switch net d then d
+              else Network.terminal_attachment net d
+            in
+            dest_count.(s) <- dest_count.(s) + 1)
+         dests;
+       let part, index =
+         kway_switch_partition prng net ~dest_weight:(fun s -> dest_count.(s))
+           ~k
+       in
+       Array.iter
+         (fun d ->
+            let s =
+              if Network.is_switch net d then d
+              else Network.terminal_attachment net d
+            in
+            push part.(index.(s)) d)
+         dests);
+    Array.map (fun l -> Array.of_list (List.rev l)) parts
+  end

@@ -1,0 +1,27 @@
+(** Destination partitioning for Nue (Section 4.5).
+
+    Nue splits the destination set into k disjoint subsets, one per
+    virtual layer. The partitioning cannot affect whether Nue succeeds,
+    only how well paths balance; the paper found multilevel k-way
+    partitioning of the network graph to beat random partitioning and
+    switch clustering, so that is the default. *)
+
+type strategy =
+  | Kway      (** multilevel k-way partitioning of the switch graph
+                  (Karypis-Kumar style: heavy-edge-matching coarsening,
+                  greedy seeding, boundary refinement) *)
+  | Random    (** uniform random split *)
+  | Clustered (** terminals of one switch stay together, switches dealt
+                  round-robin *)
+
+val partition :
+  ?strategy:strategy ->
+  ?prng:Nue_structures.Prng.t ->
+  Nue_netgraph.Network.t ->
+  dests:int array ->
+  k:int ->
+  int array array
+(** [partition net ~dests ~k] splits [dests] into [k] subsets (some may
+    be empty when [k] exceeds the number of destinations). Every
+    destination appears in exactly one subset. [prng] (default seed 1)
+    only matters for [Random] and for tie-breaks. *)

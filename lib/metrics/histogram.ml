@@ -1,0 +1,74 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+  mutable sum : float;
+}
+
+let create ?(bins = 10) ~lo ~hi () =
+  if bins < 1 then invalid_arg "Histogram.create: bins >= 1";
+  if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; counts = Array.make bins 0; total = 0; sum = 0.0 }
+
+let bin_of t v =
+  let bins = Array.length t.counts in
+  let raw =
+    int_of_float (float_of_int bins *. (v -. t.lo) /. (t.hi -. t.lo))
+  in
+  max 0 (min (bins - 1) raw)
+
+let add t v =
+  t.counts.(bin_of t v) <- t.counts.(bin_of t v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. v
+
+let add_int t v = add t (float_of_int v)
+
+let count t = t.total
+
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+let percentile t q =
+  if q <= 0.0 || q > 1.0 then invalid_arg "Histogram.percentile: q in (0,1]";
+  if t.total = 0 then 0.0
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int t.total)) in
+    let bins = Array.length t.counts in
+    let width = (t.hi -. t.lo) /. float_of_int bins in
+    let rec go i acc =
+      if i >= bins then t.hi
+      else begin
+        let acc = acc + t.counts.(i) in
+        if acc >= target then t.lo +. (width *. float_of_int (i + 1))
+        else go (i + 1) acc
+      end
+    in
+    go 0 0
+  end
+
+let of_samples ?bins samples =
+  match samples with
+  | [] -> create ?bins ~lo:0.0 ~hi:1.0 ()
+  | x :: rest ->
+    let lo = List.fold_left min x rest in
+    let hi = List.fold_left max x rest in
+    let hi = if hi > lo then hi +. 1e-9 else lo +. 1.0 in
+    let t = create ?bins ~lo ~hi () in
+    List.iter (add t) samples;
+    t
+
+let render ?(width = 40) t =
+  let bins = Array.length t.counts in
+  let bucket_width = (t.hi -. t.lo) /. float_of_int bins in
+  let peak = Array.fold_left max 1 t.counts in
+  let buf = Buffer.create 256 in
+  for i = 0 to bins - 1 do
+    let lo = t.lo +. (bucket_width *. float_of_int i) in
+    let hi = lo +. bucket_width in
+    let bar = t.counts.(i) * width / peak in
+    Buffer.add_string buf
+      (Printf.sprintf "[%8.1f, %8.1f) %7d %s\n" lo hi t.counts.(i)
+         (String.make bar '#'))
+  done;
+  Buffer.contents buf

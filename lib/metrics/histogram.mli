@@ -1,0 +1,26 @@
+(** Small fixed-bin histograms for path lengths and latencies, with a
+    terminal-friendly renderer used by the bench harness. *)
+
+type t
+
+val create : ?bins:int -> lo:float -> hi:float -> unit -> t
+(** [bins] defaults to 10; samples outside [lo, hi) clamp into the first
+    or last bin. *)
+
+val add : t -> float -> unit
+
+val add_int : t -> int -> unit
+
+val count : t -> int
+
+val mean : t -> float
+
+val percentile : t -> float -> float
+(** Approximate (bin-resolution) percentile; argument in (0, 1]. *)
+
+val of_samples : ?bins:int -> float list -> t
+(** Bounds taken from the sample range. *)
+
+val render : ?width:int -> t -> string
+(** Multi-line bar rendering: one line per bin with its range, count and
+    a proportional bar. *)

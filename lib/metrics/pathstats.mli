@@ -1,0 +1,13 @@
+(** Path-length statistics for a routing table (Section 5.1 reports the
+    maximum and average path lengths of Nue against DFSSSP/LASH). *)
+
+type t = {
+  max_hops : int;
+  avg_hops : float;
+  pairs : int;          (** (source, destination) pairs measured *)
+  unreachable : int;
+}
+
+val compute : ?sources:int array -> Nue_routing.Table.t -> t
+(** Hop counts over all source/destination pairs of the table (sources
+    default to the terminals; the destination itself is skipped). *)

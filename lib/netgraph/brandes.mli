@@ -1,0 +1,24 @@
+(** Brandes' betweenness-centrality algorithm (unweighted), with optional
+    restriction to a node mask (run on an induced subgraph) and to a
+    member set (count only shortest paths between members).
+
+    Used by Nue's root selection (Section 4.3): the root of the escape
+    spanning tree is the node of the convex subgraph with the highest
+    betweenness centrality with respect to the destination subset. *)
+
+val centrality :
+  ?mask:bool array -> ?members:int array -> Network.t -> float array
+(** [centrality ?mask ?members net] returns C_B per node id.
+
+    - [mask]: traversals are confined to nodes with [mask.(n) = true]
+      (default: the whole network).
+    - [members]: only shortest paths with both endpoints in [members]
+      contribute (default: all node pairs inside the mask).
+
+    Parallel channels count as distinct paths, matching the paper's
+    channel-sequence definition of a path. *)
+
+val most_central :
+  ?mask:bool array -> ?members:int array -> Network.t -> int
+(** Node maximizing [centrality]; ties broken toward the smaller id.
+    @raise Invalid_argument on an empty mask. *)

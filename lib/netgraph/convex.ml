@@ -1,0 +1,51 @@
+let nodes net members =
+  let n = Network.num_nodes net in
+  let mask = Array.make n false in
+  Array.iter (fun m -> mask.(m) <- true) members;
+  let is_member = Array.copy mask in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  let on_dag = Array.make n false in
+  Array.iter
+    (fun s ->
+       (* Forward BFS from s. *)
+       Array.fill dist 0 n max_int;
+       dist.(s) <- 0;
+       Queue.clear queue;
+       Queue.add s queue;
+       (* Nodes in non-decreasing distance order, for the backward sweep. *)
+       let order = ref [] in
+       while not (Queue.is_empty queue) do
+         let u = Queue.take queue in
+         order := u :: !order;
+         let adj = Network.out_channels net u in
+         for i = 0 to Array.length adj - 1 do
+           let v = Network.dst net adj.(i) in
+           if dist.(v) = max_int then begin
+             dist.(v) <- dist.(u) + 1;
+             Queue.add v queue
+           end
+         done
+       done;
+       (* Backward sweep: a node is on a shortest path from s to some
+          member t iff it is a member itself or has a DAG successor that
+          is. Processing in decreasing distance order makes one pass
+          sufficient. *)
+       Array.fill on_dag 0 n false;
+       List.iter
+         (fun u ->
+            if is_member.(u) && u <> s then on_dag.(u) <- true
+            else begin
+              let adj = Network.out_channels net u in
+              let i = ref 0 in
+              while not on_dag.(u) && !i < Array.length adj do
+                let v = Network.dst net adj.(!i) in
+                if dist.(v) = dist.(u) + 1 && on_dag.(v) then
+                  on_dag.(u) <- true;
+                incr i
+              done
+            end;
+            if on_dag.(u) then mask.(u) <- true)
+         !order)
+    members;
+  mask

@@ -1,0 +1,11 @@
+(** Convex subgraph of a destination set (paper Definition 8).
+
+    The convex subgraph for a node set [N^d] contains every member of
+    [N^d] plus every node lying on at least one shortest path between two
+    members. It is computed with one forward BFS per member and a backward
+    sweep over the shortest-path DAG, giving the
+    O(|N^d| * (|N| + |C|)) complexity claimed in Section 4.3. *)
+
+val nodes : Network.t -> int array -> bool array
+(** [nodes net members] is a membership mask over node ids for the convex
+    subgraph of [members]. *)

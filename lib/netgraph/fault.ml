@@ -1,0 +1,107 @@
+module Prng = Nue_structures.Prng
+
+type remap = {
+  net : Network.t;
+  to_old : int array;
+  of_old : int array;
+}
+
+let identity net =
+  let n = Network.num_nodes net in
+  { net; to_old = Array.init n (fun i -> i); of_old = Array.init n (fun i -> i) }
+
+(* Rebuild the network without [dead] nodes and without duplex links
+   whose index is in [dead_links] (indices into Network.duplex_pairs). *)
+let rebuild net ~dead_node ~dead_link =
+  let n = Network.num_nodes net in
+  let of_old = Array.make n (-1) in
+  let b = Network.Builder.create ~name:(Network.name net ^ "+faults") () in
+  let to_old = ref [] in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if not dead_node.(i) then begin
+      ignore (Network.Builder.add_node b (Network.kind net i));
+      of_old.(i) <- !count;
+      to_old := i :: !to_old;
+      incr count
+    end
+  done;
+  let pairs = Network.duplex_pairs net in
+  Array.iteri
+    (fun l (u, v) ->
+       if (not dead_link.(l)) && of_old.(u) >= 0 && of_old.(v) >= 0 then
+         Network.Builder.connect b of_old.(u) of_old.(v))
+    pairs;
+  let net' = Network.Builder.build b in
+  if not (Graph_algo.is_connected net') then
+    invalid_arg "Fault: faults disconnect the network";
+  { net = net'; to_old = Array.of_list (List.rev !to_old); of_old }
+
+let remove_switches net switches =
+  let dead_node = Array.make (Network.num_nodes net) false in
+  List.iter
+    (fun s ->
+       if not (Network.is_switch net s) then
+         invalid_arg "Fault.remove_switches: node is not a switch";
+       dead_node.(s) <- true;
+       Array.iter (fun t -> dead_node.(t) <- true)
+         (Network.attached_terminals net s))
+    switches;
+  let dead_link = Array.make (Network.num_channels net / 2) false in
+  rebuild net ~dead_node ~dead_link
+
+let remove_links net pairs =
+  let duplex = Network.duplex_pairs net in
+  let dead_link = Array.make (Array.length duplex) false in
+  List.iter
+    (fun (u, v) ->
+       let found = ref false in
+       Array.iteri
+         (fun l (a, b) ->
+            if
+              (not !found)
+              && (not dead_link.(l))
+              && ((a = u && b = v) || (a = v && b = u))
+            then begin
+              dead_link.(l) <- true;
+              found := true
+            end)
+         duplex;
+       if not !found then
+         invalid_arg "Fault.remove_links: no such link")
+    pairs;
+  let dead_node = Array.make (Network.num_nodes net) false in
+  rebuild net ~dead_node ~dead_link
+
+let random_link_failures prng net ~fraction =
+  let duplex = Network.duplex_pairs net in
+  let eligible = ref [] in
+  Array.iteri
+    (fun l (u, v) ->
+       if Network.is_switch net u && Network.is_switch net v then
+         eligible := l :: !eligible)
+    duplex;
+  let eligible = Array.of_list !eligible in
+  let target =
+    if fraction <= 0.0 then 0
+    else max 1 (int_of_float (fraction *. float_of_int (Array.length eligible)))
+  in
+  let dead_link = Array.make (Array.length duplex) false in
+  let dead_node = Array.make (Network.num_nodes net) false in
+  Prng.shuffle prng eligible;
+  let killed = ref 0 in
+  let i = ref 0 in
+  let result = ref (identity net) in
+  while !killed < target && !i < Array.length eligible do
+    let l = eligible.(!i) in
+    incr i;
+    dead_link.(l) <- true;
+    (match rebuild net ~dead_node ~dead_link with
+     | r ->
+       result := r;
+       incr killed
+     | exception Invalid_argument _ ->
+       (* This failure would disconnect the network; skip it. *)
+       dead_link.(l) <- false)
+  done;
+  !result

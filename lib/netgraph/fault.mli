@@ -1,0 +1,32 @@
+(** Fault injection: derive a degraded network from an intact one.
+
+    Removing a switch also removes its attached terminals (their only
+    link is gone). Node ids are re-densified; the [to_old]/[of_old] maps
+    relate the two networks so topology metadata (e.g. torus coordinates)
+    can be carried across. *)
+
+type remap = {
+  net : Network.t;
+  to_old : int array;  (** new node id -> old node id *)
+  of_old : int array;  (** old node id -> new node id, or -1 if removed *)
+}
+
+val identity : Network.t -> remap
+
+val remove_switches : Network.t -> int list -> remap
+(** Remove the given switches, their terminals and all incident links.
+    @raise Invalid_argument if the result is disconnected or a listed
+    node is not a switch. *)
+
+val remove_links : Network.t -> (int * int) list -> remap
+(** Remove one duplex link per listed node pair (one parallel copy at a
+    time).
+    @raise Invalid_argument if a pair has no link or the result is
+    disconnected. *)
+
+val random_link_failures :
+  Nue_structures.Prng.t -> Network.t -> fraction:float -> remap
+(** Fail [fraction] of the switch-to-switch duplex links (rounded down,
+    at least 1 if fraction > 0), chosen uniformly among removals that
+    keep the network connected. Terminal links never fail. Used for the
+    1% injected link failures of Fig. 11. *)

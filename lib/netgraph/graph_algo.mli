@@ -1,0 +1,53 @@
+(** Basic traversals over networks: BFS, connectivity, reverse Dijkstra,
+    spanning trees and tree routing. *)
+
+val bfs_distances : Network.t -> int -> int array
+(** Hop distances from the given node; [max_int] marks unreachable
+    nodes. *)
+
+val is_connected : Network.t -> bool
+
+val components : Network.t -> int array
+(** Component label per node (labels are representative node ids). *)
+
+val dijkstra_to_dest :
+  Network.t -> weights:float array -> dest:int -> int array * float array
+(** [dijkstra_to_dest net ~weights ~dest] computes, for every node, the
+    outgoing channel of a minimum-weight path toward [dest] (the
+    [usedChannel] of the paper, but on the plain network instead of the
+    CDG). Returns [(next_channel, distance)] where [next_channel.(n)] is
+    [-1] for [dest] itself and for unreachable nodes. Ties prefer lower
+    channel ids, making the result deterministic and destination-based.
+    [weights] is indexed by channel id and must be positive. *)
+
+val shortest_path_dag_counts :
+  Network.t -> dest:int -> int array * float array
+(** [(dist, count)] where [dist] is hop distance to [dest] and
+    [count.(n)] the number of distinct shortest node-paths from [n] to
+    [dest] (float to avoid overflow on large regular networks). *)
+
+type tree = {
+  root : int;
+  parent_channel : int array;
+  (** [parent_channel.(n)] is the channel n -> parent for every non-root
+      node in the tree; [-1] at the root. *)
+  tree_channel : bool array;
+  (** Membership flag per channel id: channel lies on the spanning tree
+      (both directions of a tree link are members). *)
+  order : int array;
+  (** Nodes in BFS discovery order starting with the root. *)
+}
+
+val spanning_tree : Network.t -> root:int -> tree
+(** Breadth-first spanning tree over the duplex links, minimizing hop
+    distance to the root (the escape-path tree of Definition 7).
+    @raise Invalid_argument if the network is disconnected. *)
+
+val tree_next_channel : Network.t -> tree -> dest:int -> int array
+(** Within the spanning tree, the unique next channel from every node
+    toward [dest] ([-1] at [dest]). This is the escape-path routing
+    R^s restricted to one destination. *)
+
+val path_of_next : Network.t -> next:int array -> src:int -> int list option
+(** Follow a next-channel table from [src] until it terminates; returns
+    the channel sequence, or [None] when the table loops or dead-ends. *)

@@ -1,0 +1,115 @@
+module Prng = Nue_structures.Prng
+
+type t = {
+  nodes : int;
+  switches : int;
+  terminals : int;
+  inter_switch_links : int;
+  diameter : int;
+  radius : int;
+  avg_switch_distance : float;
+  avg_terminal_distance : float;
+  max_degree : int;
+  min_switch_degree : int;
+  bisection_upper_bound : int;
+}
+
+let bisection_cut net prng =
+  let sw = Array.copy (Network.switches net) in
+  Prng.shuffle prng sw;
+  let half = Array.length sw / 2 in
+  let side = Array.make (Network.num_nodes net) false in
+  Array.iteri (fun i s -> if i < half then side.(s) <- true) sw;
+  let cut = ref 0 in
+  Array.iter
+    (fun (u, v) ->
+       if
+         Network.is_switch net u && Network.is_switch net v
+         && side.(u) <> side.(v)
+       then incr cut)
+    (Network.duplex_pairs net);
+  !cut
+
+let analyze ?(bisection_seeds = 8) net =
+  let switches = Network.switches net in
+  let terminals = Network.terminals net in
+  let diameter = ref 0 and radius = ref max_int in
+  let sw_sum = ref 0.0 and sw_pairs = ref 0 in
+  let term_sum = ref 0.0 and term_pairs = ref 0 in
+  let is_term = Array.make (Network.num_nodes net) false in
+  Array.iter (fun t -> is_term.(t) <- true) terminals;
+  Array.iter
+    (fun s ->
+       let dist = Graph_algo.bfs_distances net s in
+       let ecc = ref 0 in
+       Array.iter
+         (fun v ->
+            if dist.(v) < max_int && dist.(v) > !ecc
+               && Network.is_switch net v
+            then ecc := dist.(v))
+         switches;
+       if !ecc > !diameter then diameter := !ecc;
+       if !ecc < !radius then radius := !ecc;
+       Array.iter
+         (fun v ->
+            if v <> s && dist.(v) < max_int then begin
+              sw_sum := !sw_sum +. float_of_int dist.(v);
+              incr sw_pairs
+            end)
+         switches)
+    switches;
+  (* Terminal distances: reuse one BFS per terminal's switch plus the
+     two terminal hops; exact because terminals hang one hop off their
+     switch. *)
+  Array.iter
+    (fun t ->
+       let s = Network.terminal_attachment net t in
+       let dist = Graph_algo.bfs_distances net s in
+       Array.iter
+         (fun t' ->
+            if t' <> t && dist.(t') < max_int then begin
+              term_sum := !term_sum +. float_of_int (dist.(t') + 1);
+              incr term_pairs
+            end)
+         terminals)
+    terminals;
+  let min_switch_degree =
+    Array.fold_left
+      (fun acc s -> min acc (Network.degree net s))
+      max_int switches
+  in
+  let prng = Prng.create 17 in
+  let bisection =
+    let best = ref max_int in
+    for _ = 1 to max 1 bisection_seeds do
+      let c = bisection_cut net prng in
+      if c < !best then best := c
+    done;
+    !best
+  in
+  { nodes = Network.num_nodes net;
+    switches = Array.length switches;
+    terminals = Array.length terminals;
+    inter_switch_links =
+      (Network.num_channels net / 2) - Array.length terminals;
+    diameter = !diameter;
+    radius = !radius;
+    avg_switch_distance =
+      (if !sw_pairs = 0 then 0.0
+       else !sw_sum /. float_of_int !sw_pairs);
+    avg_terminal_distance =
+      (if !term_pairs = 0 then 0.0
+       else !term_sum /. float_of_int !term_pairs);
+    max_degree = Network.max_degree net;
+    min_switch_degree;
+    bisection_upper_bound = bisection }
+
+let degree_histogram net =
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun s ->
+       let d = Network.degree net s in
+       Hashtbl.replace counts d
+         (1 + Option.value ~default:0 (Hashtbl.find_opt counts d)))
+    (Network.switches net);
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) counts [])

@@ -1,0 +1,30 @@
+(** Structural characterization of a network: the quantities one checks
+    before trusting a generated topology (and the columns of the
+    topo-stats bench). All distances are hop counts over the full node
+    set; terminal links count as hops, matching the path lengths the
+    routing metrics report. *)
+
+type t = {
+  nodes : int;
+  switches : int;
+  terminals : int;
+  inter_switch_links : int;
+  diameter : int;          (** max eccentricity over switches *)
+  radius : int;            (** min eccentricity over switches *)
+  avg_switch_distance : float;
+      (** mean hop distance over ordered switch pairs *)
+  avg_terminal_distance : float;
+      (** mean hop distance over ordered terminal pairs *)
+  max_degree : int;
+  min_switch_degree : int;
+  bisection_upper_bound : int;
+      (** links crossing a balanced random switch bipartition, minimized
+          over a few seeds — an upper bound on the true bisection width,
+          used as a comparative indicator *)
+}
+
+val analyze : ?bisection_seeds:int -> Network.t -> t
+(** Full characterization; O(|N| * (|N| + |C|)) for the distance part. *)
+
+val degree_histogram : Network.t -> (int * int) list
+(** Sorted (degree, switch count) pairs over the switches. *)

@@ -1,0 +1,208 @@
+let to_string net =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "network %s\n" (Network.name net));
+  for n = 0 to Network.num_nodes net - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%s %d\n"
+         (match Network.kind net n with
+          | Network.Switch -> "switch"
+          | Network.Terminal -> "terminal")
+         n)
+  done;
+  Array.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "link %d %d\n" u v))
+    (Network.duplex_pairs net);
+  Buffer.contents buf
+
+let of_string s =
+  let fail line msg =
+    invalid_arg (Printf.sprintf "Serialize.of_string: line %d: %s" line msg)
+  in
+  let name = ref "network" in
+  let kinds = Hashtbl.create 64 in
+  let links = ref [] in
+  let max_id = ref (-1) in
+  List.iteri
+    (fun i line ->
+       let lineno = i + 1 in
+       let line =
+         match String.index_opt line '#' with
+         | Some j -> String.sub line 0 j
+         | None -> line
+       in
+       let words =
+         String.split_on_char ' ' (String.trim line)
+         |> List.filter (fun w -> w <> "")
+       in
+       let int w =
+         match int_of_string_opt w with
+         | Some v when v >= 0 -> v
+         | _ -> fail lineno (Printf.sprintf "bad node id %S" w)
+       in
+       match words with
+       | [] -> ()
+       | [ "network"; n ] -> name := n
+       | [ "switch"; id ] ->
+         let id = int id in
+         if Hashtbl.mem kinds id then fail lineno "duplicate node id";
+         Hashtbl.replace kinds id Network.Switch;
+         if id > !max_id then max_id := id
+       | [ "terminal"; id ] ->
+         let id = int id in
+         if Hashtbl.mem kinds id then fail lineno "duplicate node id";
+         Hashtbl.replace kinds id Network.Terminal;
+         if id > !max_id then max_id := id
+       | [ "link"; u; v ] -> links := (int u, int v) :: !links
+       | w :: _ -> fail lineno (Printf.sprintf "unknown declaration %S" w))
+    (String.split_on_char '\n' s);
+  let n = !max_id + 1 in
+  if Hashtbl.length kinds <> n then
+    invalid_arg "Serialize.of_string: node ids are not dense";
+  let kind_array =
+    Array.init n (fun i ->
+        match Hashtbl.find_opt kinds i with
+        | Some k -> k
+        | None -> invalid_arg "Serialize.of_string: node ids are not dense")
+  in
+  Network.of_links ~name:!name kind_array (List.rev !links)
+
+let write_file path net =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string net))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+       let len = in_channel_length ic in
+       really_input_string ic len)
+  |> of_string
+
+let to_dot ?(channel_labels = false) net =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "graph %S {\n  layout=neato;\n  overlap=false;\n"
+       (Network.name net));
+  for n = 0 to Network.num_nodes net - 1 do
+    let shape, label =
+      match Network.kind net n with
+      | Network.Switch -> ("box", Printf.sprintf "s%d" n)
+      | Network.Terminal -> ("point", Printf.sprintf "t%d" n)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [shape=%s, label=\"%s\"];\n" n shape label)
+  done;
+  Array.iteri
+    (fun l (u, v) ->
+       let label =
+         if channel_labels then Printf.sprintf " [label=\"c%d\"]" (2 * l)
+         else ""
+       in
+       Buffer.add_string buf (Printf.sprintf "  n%d -- n%d%s;\n" u v label))
+    (Network.duplex_pairs net);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_ibnetdiscover s =
+  let fail msg = invalid_arg ("Serialize.of_ibnetdiscover: " ^ msg) in
+  (* Tokenize a quoted GUID out of a line. *)
+  let quoted line from =
+    match String.index_from_opt line from '"' with
+    | None -> None
+    | Some i ->
+      (match String.index_from_opt line (i + 1) '"' with
+       | None -> None
+       | Some j -> Some (String.sub line (i + 1) (j - i - 1), j + 1))
+  in
+  let nodes = Hashtbl.create 64 in (* guid -> kind *)
+  let order = ref [] in
+  let links = ref [] in (* (guid, port, peer_guid, peer_port) *)
+  let current = ref None in
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let parse_port_line line =
+    (* [p]  "PEER"[pp]   — possibly with (guid) decorations. *)
+    match (String.index_opt line '[', String.index_opt line ']') with
+    | Some i, Some j when j > i ->
+      (match int_of_string_opt (String.sub line (i + 1) (j - i - 1)) with
+       | None -> None
+       | Some port ->
+         (match quoted line j with
+          | None -> None
+          | Some (peer, after) ->
+            (match
+               (String.index_from_opt line after '[',
+                String.index_from_opt line after ']')
+             with
+             | Some a, Some b when b > a ->
+               (match int_of_string_opt (String.sub line (a + 1) (b - a - 1)) with
+                | Some pport -> Some (port, peer, pport)
+                | None -> None)
+             | _ -> None)))
+    | _ -> None
+  in
+  List.iter
+    (fun raw ->
+       let line = strip_comment raw in
+       let trimmed = String.trim line in
+       if trimmed = "" then ()
+       else if String.length trimmed >= 6 && String.sub trimmed 0 6 = "Switch"
+       then (
+         match quoted trimmed 0 with
+         | Some (guid, _) ->
+           if not (Hashtbl.mem nodes guid) then begin
+             Hashtbl.replace nodes guid Network.Switch;
+             order := guid :: !order
+           end;
+           current := Some guid
+         | None -> fail "Switch line without a GUID")
+       else if String.length trimmed >= 2 && String.sub trimmed 0 2 = "Ca"
+       then (
+         match quoted trimmed 0 with
+         | Some (guid, _) ->
+           if not (Hashtbl.mem nodes guid) then begin
+             Hashtbl.replace nodes guid Network.Terminal;
+             order := guid :: !order
+           end;
+           current := Some guid
+         | None -> fail "Ca line without a GUID")
+       else if String.length trimmed >= 1 && trimmed.[0] = '[' then (
+         match (!current, parse_port_line trimmed) with
+         | Some guid, Some (port, peer, pport) ->
+           links := (guid, port, peer, pport) :: !links
+         | None, Some _ -> fail "port line outside a node block"
+         | _, None -> () (* unparsable decoration; ignore *))
+       else () (* vendid=, sysimgguid=, etc. *))
+    (String.split_on_char '\n' s);
+  let ids = Hashtbl.create 64 in
+  let b = Network.Builder.create ~name:"ibnetdiscover" () in
+  List.iter
+    (fun guid ->
+       let id = Network.Builder.add_node b (Hashtbl.find nodes guid) in
+       Hashtbl.replace ids guid id)
+    (List.rev !order);
+  (* Each duplex link is listed from both sides; keep the side whose
+     (guid, port) is smaller to add it exactly once. *)
+  let ca_ports = Hashtbl.create 64 in
+  List.iter
+    (fun (guid, port, peer, pport) ->
+       (match Hashtbl.find_opt nodes guid with
+        | Some Network.Terminal ->
+          Hashtbl.replace ca_ports guid
+            (1 + Option.value ~default:0 (Hashtbl.find_opt ca_ports guid));
+          if Hashtbl.find ca_ports guid > 1 then
+            fail (Printf.sprintf "CA %s has more than one connected port" guid)
+        | Some Network.Switch -> ()
+        | None -> fail (Printf.sprintf "unknown node %s" guid));
+       if not (Hashtbl.mem nodes peer) then
+         fail (Printf.sprintf "link to undeclared node %s" peer);
+       if (guid, port) < (peer, pport) then
+         Network.Builder.connect b (Hashtbl.find ids guid) (Hashtbl.find ids peer))
+    (List.rev !links);
+  Network.Builder.build b

@@ -1,0 +1,48 @@
+(** Reading and writing networks.
+
+    The native format is line-oriented and diff-friendly (one declaration
+    per line), standing in for the ibnetdiscover dumps the original
+    OpenSM-based toolchain consumes:
+
+    {v
+    # comments and blank lines are ignored
+    network <name>
+    switch <id>
+    terminal <id>
+    link <id> <id>        # one duplex link; repeat for parallel links
+    v}
+
+    Node ids must be dense (0 .. n-1) but may be declared in any order.
+    [to_dot] additionally renders networks for graphviz. *)
+
+val to_string : Network.t -> string
+
+val of_string : string -> Network.t
+(** @raise Invalid_argument on malformed input (with a line number). *)
+
+val write_file : string -> Network.t -> unit
+
+val read_file : string -> Network.t
+
+val to_dot : ?channel_labels:bool -> Network.t -> string
+(** Graphviz rendering: switches as boxes, terminals as points, one
+    undirected edge per duplex link. [channel_labels] annotates edges
+    with their forward channel id. *)
+
+val of_ibnetdiscover : string -> Network.t
+(** Parse a (simplified) ibnetdiscover dump — the format the paper's
+    OpenSM-based toolchain consumes. Recognized subset:
+
+    {v
+    Switch  36 "S-<guid>"   # optional comment
+    [1]  "H-<guid>"[1]      # peer per port
+    Ca  1 "H-<guid>"
+    [1]  "S-<guid>"[7]
+    v}
+
+    [Switch] blocks become switches, [Ca] blocks terminals; every
+    port pair appearing on both sides becomes one duplex link (parallel
+    links supported). Lines that do not match the subset (vendid=...,
+    sysimgguid=..., comments) are ignored.
+    @raise Invalid_argument on dangling references or a CA with more
+    than one connected port. *)

@@ -1,0 +1,418 @@
+module Prng = Nue_structures.Prng
+
+let add_terminals b switch count =
+  for _ = 1 to count do
+    let t = Network.Builder.add_terminal b in
+    Network.Builder.connect b t switch
+  done
+
+(* {1 Random} *)
+
+let random prng ~switches ~inter_switch_links ~terminals_per_switch
+    ?(max_switch_ports = 36) () =
+  if switches < 2 then invalid_arg "Topology.random: need >= 2 switches";
+  let max_isl_ports = max_switch_ports - terminals_per_switch in
+  if max_isl_ports < 2 then
+    invalid_arg "Topology.random: no ports left for inter-switch links";
+  if inter_switch_links < switches - 1 then
+    invalid_arg "Topology.random: too few links to connect the switches";
+  if 2 * inter_switch_links > switches * max_isl_ports then
+    invalid_arg "Topology.random: not enough switch ports for the links";
+  let b = Network.Builder.create ~name:"random" () in
+  let sw = Array.init switches (fun _ -> Network.Builder.add_switch b) in
+  let ports = Array.make switches 0 in
+  let linked = Hashtbl.create (4 * inter_switch_links) in
+  let key u v = if u < v then (u, v) else (v, u) in
+  (* Random spanning tree: attach each new switch to a random earlier
+     one (random-attachment tree keeps degrees moderate). *)
+  let order = Array.init switches (fun i -> i) in
+  Prng.shuffle prng order;
+  for i = 1 to switches - 1 do
+    let u = order.(i) in
+    let v = order.(Prng.int prng i) in
+    Network.Builder.connect b sw.(u) sw.(v);
+    ports.(u) <- ports.(u) + 1;
+    ports.(v) <- ports.(v) + 1;
+    Hashtbl.replace linked (key u v) ()
+  done;
+  let remaining = ref (inter_switch_links - (switches - 1)) in
+  let attempts = ref 0 in
+  let max_attempts = 1000 * inter_switch_links in
+  while !remaining > 0 && !attempts < max_attempts do
+    incr attempts;
+    let u = Prng.int prng switches in
+    let v = Prng.int prng switches in
+    if
+      u <> v
+      && ports.(u) < max_isl_ports
+      && ports.(v) < max_isl_ports
+      && not (Hashtbl.mem linked (key u v))
+    then begin
+      Network.Builder.connect b sw.(u) sw.(v);
+      ports.(u) <- ports.(u) + 1;
+      ports.(v) <- ports.(v) + 1;
+      Hashtbl.replace linked (key u v) ();
+      decr remaining
+    end
+  done;
+  if !remaining > 0 then
+    invalid_arg "Topology.random: could not place all links (too dense)";
+  Array.iter (fun s -> add_terminals b s terminals_per_switch) sw;
+  Network.Builder.build b
+
+(* {1 3D torus} *)
+
+type torus = {
+  net : Network.t;
+  dims : int * int * int;
+  switch_of_coord : int array array array;
+  coord_of_switch : (int * int * int) array;
+}
+
+let torus3d ~dims:(dx, dy, dz) ~terminals_per_switch ?(redundancy = 1) () =
+  if dx < 2 || dy < 2 || dz < 2 then
+    invalid_arg "Topology.torus3d: each dimension must be >= 2";
+  let b = Network.Builder.create ~name:(Printf.sprintf "torus-%dx%dx%d" dx dy dz) () in
+  let grid =
+    Array.init dx (fun _ ->
+        Array.init dy (fun _ ->
+            Array.init dz (fun _ -> Network.Builder.add_switch b)))
+  in
+  let connect u v =
+    for _ = 1 to redundancy do
+      Network.Builder.connect b u v
+    done
+  in
+  (* Link each switch to its +1 neighbor per dimension; the wrap link
+     coincides with an existing link when the dimension has size 2. *)
+  for x = 0 to dx - 1 do
+    for y = 0 to dy - 1 do
+      for z = 0 to dz - 1 do
+        let s = grid.(x).(y).(z) in
+        if x + 1 < dx then connect s grid.(x + 1).(y).(z)
+        else if dx > 2 then connect s grid.(0).(y).(z);
+        if y + 1 < dy then connect s grid.(x).(y + 1).(z)
+        else if dy > 2 then connect s grid.(x).(0).(z);
+        if z + 1 < dz then connect s grid.(x).(y).(z + 1)
+        else if dz > 2 then connect s grid.(x).(y).(0)
+      done
+    done
+  done;
+  let coords = ref [] in
+  for x = dx - 1 downto 0 do
+    for y = dy - 1 downto 0 do
+      for z = dz - 1 downto 0 do
+        coords := (grid.(x).(y).(z), (x, y, z)) :: !coords
+      done
+    done
+  done;
+  let term_coord = ref [] in
+  List.iter
+    (fun (s, c) ->
+       for _ = 1 to terminals_per_switch do
+         let t = Network.Builder.add_terminal b in
+         Network.Builder.connect b t s;
+         term_coord := (t, c) :: !term_coord
+       done)
+    !coords;
+  let net = Network.Builder.build b in
+  let coord_of_switch = Array.make (Network.num_nodes net) (0, 0, 0) in
+  List.iter (fun (n, c) -> coord_of_switch.(n) <- c) !coords;
+  List.iter (fun (n, c) -> coord_of_switch.(n) <- c) !term_coord;
+  { net; dims = (dx, dy, dz); switch_of_coord = grid; coord_of_switch }
+
+(* {1 k-ary n-tree} *)
+
+let kary_ntree ~k ~n ~terminals_per_leaf () =
+  if k < 2 || n < 2 then invalid_arg "Topology.kary_ntree: need k, n >= 2";
+  let b = Network.Builder.create ~name:(Printf.sprintf "%d-ary %d-tree" k n) () in
+  let per_level = int_of_float (float_of_int k ** float_of_int (n - 1)) in
+  (* Switch <w, l> with w a (n-1)-digit base-k word; levels 0 (leaf) to
+     n-1 (root). *)
+  let sw = Array.init n (fun _ -> Array.init per_level (fun _ -> Network.Builder.add_switch b)) in
+  let digits w =
+    let d = Array.make (n - 1) 0 in
+    let w = ref w in
+    for i = n - 2 downto 0 do
+      d.(i) <- !w mod k;
+      w := !w / k
+    done;
+    d
+  in
+  let of_digits d =
+    Array.fold_left (fun acc x -> (acc * k) + x) 0 d
+  in
+  (* <w, l> connects to <w', l+1> iff w' differs from w only in digit l. *)
+  for l = 0 to n - 2 do
+    for w = 0 to per_level - 1 do
+      let d = digits w in
+      for x = 0 to k - 1 do
+        let d' = Array.copy d in
+        d'.(l) <- x;
+        Network.Builder.connect b sw.(l).(w) sw.(l + 1).(of_digits d')
+      done
+    done
+  done;
+  Array.iter (fun s -> add_terminals b s terminals_per_leaf) sw.(0);
+  Network.Builder.build b
+
+let tree_level ~net:_ ~k ~n node =
+  let per_level = int_of_float (float_of_int k ** float_of_int (n - 1)) in
+  if node < n * per_level then node / per_level
+  else invalid_arg "Topology.tree_level: not a switch of this tree"
+
+(* {1 Kautz} *)
+
+let kautz ~degree ~diameter ~terminals_per_switch ?(redundancy = 1) () =
+  let d = degree and k = diameter in
+  if d < 2 || k < 1 then invalid_arg "Topology.kautz: need degree >= 2";
+  (* Vertices: words s_1..s_k over {0..d} with s_i <> s_{i+1}. Encode a
+     word by its first symbol and the sequence of relative steps. *)
+  let count = (d + 1) * int_of_float (float_of_int d ** float_of_int (k - 1)) in
+  let words = Array.make count [||] in
+  let index = Hashtbl.create (2 * count) in
+  let idx = ref 0 in
+  let rec enumerate prefix =
+    if List.length prefix = k then begin
+      let w = Array.of_list (List.rev prefix) in
+      words.(!idx) <- w;
+      Hashtbl.replace index w !idx;
+      incr idx
+    end else begin
+      let last = match prefix with [] -> -1 | x :: _ -> x in
+      for s = 0 to d do
+        if s <> last then enumerate (s :: prefix)
+      done
+    end
+  in
+  enumerate [];
+  assert (!idx = count);
+  let b = Network.Builder.create ~name:(Printf.sprintf "kautz-%d-%d" d k) () in
+  let sw = Array.init count (fun _ -> Network.Builder.add_switch b) in
+  (* Directed Kautz edge: s_1..s_k -> s_2..s_k t with t <> s_k. Each
+     becomes a duplex link; redundancy multiplies every link. *)
+  for v = 0 to count - 1 do
+    let w = words.(v) in
+    for t = 0 to d do
+      if t <> w.(k - 1) then begin
+        let w' = Array.append (Array.sub w 1 (k - 1)) [| t |] in
+        let u = Hashtbl.find index w' in
+        for _ = 1 to redundancy do
+          Network.Builder.connect b sw.(v) sw.(u)
+        done
+      end
+    done
+  done;
+  Array.iter (fun s -> add_terminals b s terminals_per_switch) sw;
+  Network.Builder.build b
+
+(* {1 Dragonfly} *)
+
+let dragonfly ~a ~p ~h ~g () =
+  if g < 2 then invalid_arg "Topology.dragonfly: need >= 2 groups";
+  let links_per_pair = a * h / (g - 1) in
+  if links_per_pair < 1 then
+    invalid_arg "Topology.dragonfly: not enough global ports to connect all group pairs";
+  let b = Network.Builder.create ~name:(Printf.sprintf "dragonfly-a%d-p%d-h%d-g%d" a p h g) () in
+  let sw = Array.init g (fun _ -> Array.init a (fun _ -> Network.Builder.add_switch b)) in
+  (* Complete graph inside each group. *)
+  for gi = 0 to g - 1 do
+    for i = 0 to a - 1 do
+      for j = i + 1 to a - 1 do
+        Network.Builder.connect b sw.(gi).(i) sw.(gi).(j)
+      done
+    done
+  done;
+  (* Global links: every group pair gets [links_per_pair] links; the
+     endpoints cycle round-robin over the group's switches so global
+     ports stay within h per switch. *)
+  let next_port = Array.make g 0 in
+  for gi = 0 to g - 1 do
+    for gj = gi + 1 to g - 1 do
+      for _ = 1 to links_per_pair do
+        let si = next_port.(gi) mod a and sj = next_port.(gj) mod a in
+        next_port.(gi) <- next_port.(gi) + 1;
+        next_port.(gj) <- next_port.(gj) + 1;
+        Network.Builder.connect b sw.(gi).(si) sw.(gj).(sj)
+      done
+    done
+  done;
+  for gi = 0 to g - 1 do
+    for i = 0 to a - 1 do
+      add_terminals b sw.(gi).(i) p
+    done
+  done;
+  Network.Builder.build b
+
+(* {1 Cascade} *)
+
+let cascade ?(global_channels = 192) () =
+  let groups = 2 and chassis = 6 and slots = 16 in
+  let per_group = chassis * slots in
+  let b = Network.Builder.create ~name:"cascade-2groups" () in
+  let sw =
+    Array.init groups (fun _ ->
+        Array.init chassis (fun _ ->
+            Array.init slots (fun _ -> Network.Builder.add_switch b)))
+  in
+  for gi = 0 to groups - 1 do
+    (* Green links: all-to-all within a chassis. *)
+    for c = 0 to chassis - 1 do
+      for i = 0 to slots - 1 do
+        for j = i + 1 to slots - 1 do
+          Network.Builder.connect b sw.(gi).(c).(i) sw.(gi).(c).(j)
+        done
+      done
+    done;
+    (* Black links: same slot across chassis, x3 redundancy. *)
+    for s = 0 to slots - 1 do
+      for c1 = 0 to chassis - 1 do
+        for c2 = c1 + 1 to chassis - 1 do
+          for _ = 1 to 3 do
+            Network.Builder.connect b sw.(gi).(c1).(s) sw.(gi).(c2).(s)
+          done
+        done
+      done
+    done
+  done;
+  (* Blue links between the two groups, spread round-robin. *)
+  for l = 0 to global_channels - 1 do
+    let s0 = l mod per_group in
+    let s1 = (l + (per_group / 2)) mod per_group in
+    let node g s = sw.(g).(s / slots).(s mod slots) in
+    Network.Builder.connect b (node 0 s0) (node 1 s1)
+  done;
+  for gi = 0 to groups - 1 do
+    for c = 0 to chassis - 1 do
+      for s = 0 to slots - 1 do
+        add_terminals b sw.(gi).(c).(s) 8
+      done
+    done
+  done;
+  Network.Builder.build b
+
+(* {1 Tsubame 2.5 (2nd rail) approximation} *)
+
+let tsubame25 () =
+  let edges = 128 and cores = 115 in
+  let uplinks_per_edge = 25 in
+  let core_core_links = 184 in
+  let b = Network.Builder.create ~name:"tsubame2.5-rail2" () in
+  let edge = Array.init edges (fun _ -> Network.Builder.add_switch b) in
+  let core = Array.init cores (fun _ -> Network.Builder.add_switch b) in
+  let next_core = ref 0 in
+  for e = 0 to edges - 1 do
+    for _ = 1 to uplinks_per_edge do
+      Network.Builder.connect b edge.(e) core.(!next_core mod cores);
+      incr next_core
+    done
+  done;
+  (* Stand-in for the internal stages of the director switches: chords
+     over the core layer. *)
+  for l = 0 to core_core_links - 1 do
+    let i = l mod cores in
+    let j = (i + 1 + (l / cores)) mod cores in
+    Network.Builder.connect b core.(i) core.(j)
+  done;
+  (* 11 terminals per edge switch; the last switch takes 10 so the total
+     is exactly 1,407. *)
+  for e = 0 to edges - 1 do
+    add_terminals b edge.(e) (if e = edges - 1 then 10 else 11)
+  done;
+  Network.Builder.build b
+
+(* {1 Additional regular topologies} *)
+
+type grid = {
+  gnet : Network.t;
+  gdims : int array;
+  switch_of_gcoord : int array -> int;
+  gcoord_of_switch : int -> int array;
+}
+
+let grid_of ~name ~dims ~terminals_per_switch ~wrap ~redundancy =
+  let n = Array.length dims in
+  if n = 0 then invalid_arg "Topology: empty dimension vector";
+  Array.iter
+    (fun d -> if d < 2 then invalid_arg "Topology: dimensions must be >= 2")
+    dims;
+  let total = Array.fold_left ( * ) 1 dims in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  let index c =
+    let idx = ref 0 in
+    Array.iteri (fun i x -> idx := !idx + (x * strides.(i))) c;
+    !idx
+  in
+  let coord idx =
+    Array.init n (fun i -> idx / strides.(i) mod dims.(i))
+  in
+  let b = Network.Builder.create ~name () in
+  let sw = Array.init total (fun _ -> Network.Builder.add_switch b) in
+  for idx = 0 to total - 1 do
+    let c = coord idx in
+    for d = 0 to n - 1 do
+      if c.(d) + 1 < dims.(d) then begin
+        let c' = Array.copy c in
+        c'.(d) <- c.(d) + 1;
+        for _ = 1 to redundancy do
+          Network.Builder.connect b sw.(idx) sw.(index c')
+        done
+      end
+      else if wrap && dims.(d) > 2 then begin
+        let c' = Array.copy c in
+        c'.(d) <- 0;
+        for _ = 1 to redundancy do
+          Network.Builder.connect b sw.(idx) sw.(index c')
+        done
+      end
+    done
+  done;
+  Array.iter (fun s -> add_terminals b s terminals_per_switch) sw;
+  let gnet = Network.Builder.build b in
+  { gnet;
+    gdims = Array.copy dims;
+    switch_of_gcoord = (fun c -> sw.(index c));
+    gcoord_of_switch = coord }
+
+let mesh ~dims ~terminals_per_switch () =
+  let name =
+    "mesh-"
+    ^ String.concat "x" (Array.to_list (Array.map string_of_int dims))
+  in
+  grid_of ~name ~dims ~terminals_per_switch ~wrap:false ~redundancy:1
+
+let torus_nd ~dims ~terminals_per_switch ?(redundancy = 1) () =
+  let name =
+    "torus-"
+    ^ String.concat "x" (Array.to_list (Array.map string_of_int dims))
+  in
+  grid_of ~name ~dims ~terminals_per_switch ~wrap:true ~redundancy
+
+let hypercube ~dim ~terminals_per_switch () =
+  if dim < 1 || dim > 20 then invalid_arg "Topology.hypercube: dim in [1,20]";
+  let total = 1 lsl dim in
+  let b = Network.Builder.create ~name:(Printf.sprintf "hypercube-%d" dim) () in
+  let sw = Array.init total (fun _ -> Network.Builder.add_switch b) in
+  for v = 0 to total - 1 do
+    for d = 0 to dim - 1 do
+      let u = v lxor (1 lsl d) in
+      if u > v then Network.Builder.connect b sw.(v) sw.(u)
+    done
+  done;
+  Array.iter (fun s -> add_terminals b s terminals_per_switch) sw;
+  Network.Builder.build b
+
+let fully_connected ~switches ~terminals_per_switch () =
+  if switches < 2 then invalid_arg "Topology.fully_connected: >= 2 switches";
+  let b = Network.Builder.create ~name:(Printf.sprintf "full-%d" switches) () in
+  let sw = Array.init switches (fun _ -> Network.Builder.add_switch b) in
+  for i = 0 to switches - 1 do
+    for j = i + 1 to switches - 1 do
+      Network.Builder.connect b sw.(i) sw.(j)
+    done
+  done;
+  Array.iter (fun s -> add_terminals b s terminals_per_switch) sw;
+  Network.Builder.build b

@@ -1,0 +1,121 @@
+(** Topology generators for the evaluation networks of the paper
+    (Table 1, Fig. 1, Fig. 11).
+
+    All generators use 36-port switches by default (48 for Cascade) and
+    produce connected networks; they raise [Invalid_argument] when a
+    parameter combination exceeds switch radix or cannot be connected. *)
+
+(** {1 Random topologies (Sections 5.1/5.2)} *)
+
+val random :
+  Nue_structures.Prng.t ->
+  switches:int ->
+  inter_switch_links:int ->
+  terminals_per_switch:int ->
+  ?max_switch_ports:int ->
+  unit ->
+  Network.t
+(** Connected random simple graph on the switches: a random spanning tree
+    plus uniformly chosen extra links, respecting the port budget.
+    Paper configuration: 125 switches, 1,000 links, 8 terminals each. *)
+
+(** {1 3D torus (Fig. 1, Fig. 11, Table 1)} *)
+
+type torus = {
+  net : Network.t;
+  dims : int * int * int;
+  switch_of_coord : int array array array; (* x -> y -> z -> node id *)
+  coord_of_switch : (int * int * int) array; (* indexed by node id; terminals map to their switch's coordinate *)
+}
+
+val torus3d :
+  dims:int * int * int ->
+  terminals_per_switch:int ->
+  ?redundancy:int ->
+  unit ->
+  torus
+(** 3D torus with wrap-around links (omitted for a dimension of size <= 2
+    to avoid accidental parallel links) and [redundancy] parallel copies
+    of every switch-to-switch link (Table 1 uses r = 4 for the 6x5x5). *)
+
+(** {1 k-ary n-tree (Table 1: 10-ary 3-tree)} *)
+
+val kary_ntree :
+  k:int -> n:int -> terminals_per_leaf:int -> unit -> Network.t
+(** Petrini/Vanneschi k-ary n-tree: [n] switch levels of [k^(n-1)]
+    switches; level-0 switches are leaves carrying the terminals. The
+    paper's 10-ary 3-tree with 11 terminals per leaf gives 300 switches,
+    1,100 terminals, 2,000 channels. *)
+
+val tree_level : net:Network.t -> k:int -> n:int -> int -> int
+(** Level of a switch in a network built by [kary_ntree] (0 = leaf). *)
+
+(** {1 Kautz graph (Table 1)} *)
+
+val kautz :
+  degree:int -> diameter:int -> terminals_per_switch:int ->
+  ?redundancy:int -> unit -> Network.t
+(** Kautz graph K(degree, diameter): vertices are words of length
+    [diameter] over an alphabet of [degree + 1] symbols with no equal
+    adjacent symbols; every directed Kautz edge becomes a duplex link
+    (times [redundancy]). K(5, 3) with 7 terminals per switch and r = 2
+    reproduces Table 1's 150 switches, 1,050 terminals, 1,500 channels
+    (the paper's caption labels this configuration d = 7, k = 3 counting
+    terminal ports as part of the degree). *)
+
+(** {1 Dragonfly (Table 1)} *)
+
+val dragonfly :
+  a:int -> p:int -> h:int -> g:int -> unit -> Network.t
+(** Kim et al. dragonfly: [g] groups of [a] switches, complete graph
+    inside each group, [p] terminals and [h] global ports per switch.
+    Group pairs are connected with floor(a*h / (g-1)) parallel global
+    links assigned round-robin to switches. The paper's
+    (a=12, p=6, h=6, g=15) gives 180 switches, 1,080 terminals and
+    1,515 channels. *)
+
+(** {1 Cray Cascade, 2 electrical groups (Table 1)} *)
+
+val cascade : ?global_channels:int -> unit -> Network.t
+(** Two Cascade (XC30) groups: per group 96 Aries switches in 6 chassis
+    of 16 slots; green links connect slots within a chassis (x1), black
+    links connect equal slots across chassis (x3); [global_channels]
+    (default 192) blue links connect the groups. 8 terminals per switch.
+    Gives 192 switches, 1,536 terminals, 3,072 channels. *)
+
+(** {1 Tsubame 2.5, 2nd rail (Table 1)} *)
+
+val tsubame25 : unit -> Network.t
+(** Approximation of Tsubame2.5's second-rail fat tree with Table 1's
+    exact counts: 128 edge switches (11 terminals each, one edge switch
+    with 10), 115 core switches, 25 uplinks per edge switch distributed
+    round-robin, plus 184 core-core links (standing in for the internal
+    stages of the 324-port director switches). 243 switches, 1,407
+    terminals, 3,384 channels. *)
+
+(** {1 Additional regular topologies}
+
+    Not part of Table 1, but standard evaluation fabrics (NoC meshes,
+    hypercubes) exercised by the examples and extra benches. *)
+
+type grid = {
+  gnet : Network.t;
+  gdims : int array;
+  switch_of_gcoord : int array -> int;  (** coordinate -> switch id *)
+  gcoord_of_switch : int -> int array;  (** switch id -> coordinate *)
+}
+
+val mesh : dims:int array -> terminals_per_switch:int -> unit -> grid
+(** n-dimensional mesh (no wrap-around links). Every dimension >= 2. *)
+
+val torus_nd :
+  dims:int array -> terminals_per_switch:int -> ?redundancy:int -> unit ->
+  grid
+(** n-dimensional torus; wrap links omitted for dimensions of size <= 2
+    (as in {!torus3d}). *)
+
+val hypercube : dim:int -> terminals_per_switch:int -> unit -> Network.t
+(** Binary hypercube with [2^dim] switches. *)
+
+val fully_connected : switches:int -> terminals_per_switch:int -> unit -> Network.t
+(** Complete graph on the switches (a single dragonfly group). *)

@@ -1,0 +1,32 @@
+module Network = Nue_netgraph.Network
+
+let channel_loads net ~nexts ~dest ~sources =
+  let loads = Array.make (Network.num_channels net) 0 in
+  let n = Network.num_nodes net in
+  Array.iter
+    (fun src ->
+       if src <> dest then begin
+         let rec walk node hops =
+           if node <> dest && hops <= n then begin
+             let c = nexts.(node) in
+             if c >= 0 then begin
+               loads.(c) <- loads.(c) + 1;
+               walk (Network.dst net c) (hops + 1)
+             end
+           end
+         in
+         walk src 0
+       end)
+    sources;
+  loads
+
+let update_weights ?(scale = 1.0) net ~weights ~nexts ~dest ~sources =
+  let loads = channel_loads net ~nexts ~dest ~sources in
+  Array.iteri
+    (fun c l ->
+       if l > 0 then weights.(c) <- weights.(c) +. (scale *. float_of_int l))
+    loads
+
+let tie_break_scale ~sources ~dests =
+  let pairs = Array.length sources * Array.length dests in
+  1.0 /. (4.0 *. float_of_int (max 1 pairs))

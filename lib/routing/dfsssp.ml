@@ -1,0 +1,47 @@
+module Network = Nue_netgraph.Network
+module Graph_algo = Nue_netgraph.Graph_algo
+
+let defaults ?dests ?sources net =
+  ((match dests with Some d -> d | None -> Network.terminals net),
+   match sources with Some s -> s | None -> Network.terminals net)
+
+let compute_paths net ~dests ~sources =
+  let weights = Array.make (Network.num_channels net) 1.0 in
+  (* Loads act as tie-breakers between equal-hop paths: the paths stay
+     (near-)minimal while spreading over parallel shortest routes, as
+     OpenSM's SSSP engine does. *)
+  let scale = Balance.tie_break_scale ~sources ~dests in
+  Array.map
+    (fun dest ->
+       let nexts, _dist = Graph_algo.dijkstra_to_dest net ~weights ~dest in
+       Balance.update_weights ~scale net ~weights ~nexts ~dest ~sources;
+       nexts)
+    dests
+
+let paths_only ?dests ?sources net =
+  let dests, sources = defaults ?dests ?sources net in
+  let next_channel = compute_paths net ~dests ~sources in
+  Table.make ~net ~algorithm:"sssp" ~dests ~next_channel ~vl:Table.All_zero
+    ~num_vls:1 ()
+
+let route ?dests ?sources ?(max_vls = 8) net =
+  let dests, sources = defaults ?dests ?sources net in
+  let next_channel = compute_paths net ~dests ~sources in
+  match
+    Layers.assign net ~dests ~next_channel ~sources ~max_layers:max_vls ()
+  with
+  | None ->
+    Error
+      (Printf.sprintf
+         "dfsssp: needs more than the %d available virtual layers" max_vls)
+  | Some { Layers.vl; layers_used } ->
+      Ok
+        (Table.make ~net ~algorithm:"dfsssp" ~dests ~next_channel
+           ~vl:(Table.Per_pair vl) ~num_vls:layers_used
+           ~info:[ ("required_vls", float_of_int layers_used) ]
+           ())
+
+let required_vcs ?dests ?sources net =
+  let dests, sources = defaults ?dests ?sources net in
+  let next_channel = compute_paths net ~dests ~sources in
+  Layers.required_vcs net ~dests ~next_channel ~sources

@@ -1,0 +1,34 @@
+(** DFSSSP: deadlock-free single-source shortest-path routing
+    (Domke, Hoefler, Nagel 2011).
+
+    Phase 1 computes globally balanced shortest paths: one weighted
+    Dijkstra per destination with positive weight updates on the used
+    channels. Phase 2 removes deadlocks by assigning whole
+    source-destination paths to virtual layers ({!Layers.assign}); the
+    required number of layers can exceed the hardware VC limit, in which
+    case DFSSSP is inapplicable (the failure mode Figs. 1, 10, 11
+    exhibit and Nue was built to avoid). *)
+
+val route :
+  ?dests:int array ->
+  ?sources:int array ->
+  ?max_vls:int ->
+  Nue_netgraph.Network.t ->
+  (Table.t, string) result
+(** [max_vls] defaults to 8 (InfiniBand data VLs). On failure the error
+    mentions the number of layers the greedy assignment needed. *)
+
+val paths_only :
+  ?dests:int array ->
+  ?sources:int array ->
+  Nue_netgraph.Network.t ->
+  Table.t
+(** Phase 1 alone (the SSSP routing of Hoefler et al.): balanced
+    shortest paths on one VL, no deadlock removal. *)
+
+val required_vcs :
+  ?dests:int array ->
+  ?sources:int array ->
+  Nue_netgraph.Network.t ->
+  int
+(** Layers the greedy assignment needs for this network's DFSSSP paths. *)

@@ -1,0 +1,183 @@
+module Network = Nue_netgraph.Network
+module Graph_algo = Nue_netgraph.Graph_algo
+module Acyclic_digraph = Nue_cdg.Acyclic_digraph
+
+(* Minimal-path next-channel tree toward one destination (lowest channel
+   id among equal-distance choices, LASH does not balance). *)
+let min_hop_tree net dest =
+  let nn = Network.num_nodes net in
+  let dist = Graph_algo.bfs_distances net dest in
+  let nexts = Array.make nn (-1) in
+  for node = 0 to nn - 1 do
+    if node <> dest && dist.(node) < max_int then begin
+      let adj = Network.out_channels net node in
+      let best = ref (-1) in
+      for i = 0 to Array.length adj - 1 do
+        let c = adj.(i) in
+        if dist.(Network.dst net c) = dist.(node) - 1 && !best < 0 then
+          best := c
+      done;
+      nexts.(node) <- !best
+    end
+  done;
+  nexts
+
+let switch_of net n =
+  if Network.is_switch net n then n else Network.terminal_attachment net n
+
+(* Dependencies of the switch-level path src_switch -> dest_switch in the
+   given tree: consecutive channel pairs. *)
+let switch_path_edges net ~nexts ~dest_switch ~src_switch =
+  let n = Network.num_nodes net in
+  let rec walk node prev hops acc =
+    if node = dest_switch || hops > n then acc
+    else begin
+      let c = nexts.(node) in
+      if c < 0 then acc
+      else begin
+        let acc = match prev with Some p -> (p, c) :: acc | None -> acc in
+        walk (Network.dst net c) (Some c) (hops + 1) acc
+      end
+    end
+  in
+  walk src_switch None 0 []
+
+let assign_layers net ~trees ~dest_switches ~src_switches ~max_layers =
+  let nc = Network.num_channels net in
+  let layers = ref [| Acyclic_digraph.create nc |] in
+  let layer_count = ref 1 in
+  let layer_of = Hashtbl.create 4096 in
+  let ok = ref true in
+  Array.iter
+    (fun dw ->
+       if !ok then begin
+         let nexts = Hashtbl.find trees dw in
+         Array.iter
+           (fun sw ->
+              if !ok && sw <> dw then begin
+                let edges =
+                  switch_path_edges net ~nexts ~dest_switch:dw ~src_switch:sw
+                in
+                (* First layer that accepts all dependencies; rollback on
+                   partial failure (removal keeps the order valid). *)
+                let rec try_layer l =
+                  if l >= !layer_count then begin
+                    match max_layers with
+                    | Some k when !layer_count >= k -> None
+                    | _ ->
+                      layers :=
+                        Array.append !layers
+                          [| Acyclic_digraph.create nc |];
+                      incr layer_count;
+                      try_layer l
+                  end
+                  else begin
+                    let g = !layers.(l) in
+                    let rec add added = function
+                      | [] -> true
+                      | (a, b) :: rest ->
+                        if Acyclic_digraph.try_add_edge g a b then
+                          add ((a, b) :: added) rest
+                        else begin
+                          List.iter
+                            (fun (x, y) -> Acyclic_digraph.remove_edge g x y)
+                            added;
+                          false
+                        end
+                    in
+                    if add [] edges then Some l else try_layer (l + 1)
+                  end
+                in
+                match try_layer 0 with
+                | Some l -> Hashtbl.replace layer_of (sw, dw) l
+                | None -> ok := false
+              end)
+           src_switches
+       end)
+    dest_switches;
+  if !ok then Some (layer_of, !layer_count) else None
+
+let run ?dests ?sources ~max_layers net =
+  let dests = match dests with Some d -> d | None -> Network.terminals net in
+  let sources =
+    match sources with Some s -> s | None -> Network.terminals net
+  in
+  let dest_switches =
+    let seen = Hashtbl.create 64 in
+    Array.iter (fun d -> Hashtbl.replace seen (switch_of net d) ()) dests;
+    let l = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
+    Array.of_list (List.sort compare l)
+  in
+  let src_switches =
+    let seen = Hashtbl.create 64 in
+    Array.iter (fun s -> Hashtbl.replace seen (switch_of net s) ()) sources;
+    let l = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
+    Array.of_list (List.sort compare l)
+  in
+  let trees = Hashtbl.create 64 in
+  Array.iter
+    (fun dw -> Hashtbl.replace trees dw (min_hop_tree net dw))
+    dest_switches;
+  match assign_layers net ~trees ~dest_switches ~src_switches ~max_layers with
+  | None -> None
+  | Some (layer_of, layer_count) ->
+    let nn = Network.num_nodes net in
+    let next_channel =
+      Array.map
+        (fun dest ->
+           let dw = switch_of net dest in
+           let tree = Hashtbl.find trees dw in
+           let nexts = Array.make nn (-1) in
+           for node = 0 to nn - 1 do
+             if node <> dest then
+               if node = dw then begin
+                 (* The destination's switch forwards onto the terminal
+                    link (or, if dest is the switch itself, nowhere). *)
+                 if Network.is_terminal net dest then
+                   match Nue_netgraph.Network.find_channel net dw dest with
+                   | Some c -> nexts.(node) <- c
+                   | None -> ()
+               end
+               else if Network.is_terminal net node then
+                 nexts.(node) <- (Network.out_channels net node).(0)
+               else nexts.(node) <- tree.(node)
+           done;
+           nexts)
+        dests
+    in
+    let vl =
+      Array.map
+        (fun dest ->
+           let dw = switch_of net dest in
+           Array.init nn (fun src ->
+               let sw = switch_of net src in
+               if sw = dw then 0
+               else
+                 Option.value ~default:0
+                   (Hashtbl.find_opt layer_of (sw, dw))))
+        dests
+    in
+    Some
+      (Table.make ~net ~algorithm:"lash" ~dests ~next_channel
+         ~vl:(Table.Per_pair vl) ~num_vls:layer_count
+         ~info:[ ("required_vls", float_of_int layer_count) ]
+         (),
+       layer_count)
+
+let route ?dests ?sources ?(max_vls = 8) net =
+  match run ?dests ?sources ~max_layers:(Some max_vls) net with
+  | Some (t, _) -> Ok t
+  | None ->
+    (* Re-run unbounded to report the requirement. *)
+    (match run ?dests ?sources ~max_layers:None net with
+     | Some (_, needed) ->
+       Error
+         (Printf.sprintf
+            "lash: needs %d virtual layers but only %d VLs are available"
+            needed max_vls)
+     | None -> Error "lash: assignment failed")
+
+let required_vcs ?dests ?sources net =
+  match run ?dests ?sources ~max_layers:None net with
+  | Some (_, needed) -> needed
+  | None -> assert false

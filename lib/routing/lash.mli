@@ -1,0 +1,20 @@
+(** LASH: layered shortest-path routing (Skeie, Lysne, Theiss 2002).
+
+    Minimal paths are computed per destination switch; every
+    switch-to-switch path is then assigned to the first virtual layer
+    whose channel dependency graph stays acyclic when the path's
+    dependencies are added (tested with an incrementally maintained
+    topological order). Terminal pairs inherit the layer of their
+    switch pair. Like DFSSSP, LASH fails when the layers needed exceed
+    the available VLs. *)
+
+val route :
+  ?dests:int array ->
+  ?sources:int array ->
+  ?max_vls:int ->
+  Nue_netgraph.Network.t ->
+  (Table.t, string) result
+(** [max_vls] defaults to 8. *)
+
+val required_vcs :
+  ?dests:int array -> ?sources:int array -> Nue_netgraph.Network.t -> int

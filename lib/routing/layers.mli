@@ -1,0 +1,32 @@
+(** Assignment of paths to virtual layers for deadlock removal.
+
+    This is the decoupled "break cycles afterwards" strategy of DFSSSP
+    (and, in per-path form, LASH): all paths start in layer 0; while the
+    layer's channel dependency graph contains a cycle, the cycle edge
+    induced by the fewest paths is selected and those paths move to the
+    next layer. The minimum number of layers this greedy procedure needs
+    is what Fig. 1b reports as "required VCs". *)
+
+type result = {
+  vl : int array array; (** [vl.(dest position).(source)] *)
+  layers_used : int;
+}
+
+val assign :
+  Nue_netgraph.Network.t ->
+  dests:int array ->
+  next_channel:int array array ->
+  sources:int array ->
+  ?max_layers:int ->
+  unit ->
+  result option
+(** [None] if more than [max_layers] layers would be needed (default:
+    unbounded). *)
+
+val required_vcs :
+  Nue_netgraph.Network.t ->
+  dests:int array ->
+  next_channel:int array array ->
+  sources:int array ->
+  int
+(** Layers needed by the greedy assignment (>= 1). *)

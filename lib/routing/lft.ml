@@ -1,0 +1,63 @@
+module Network = Nue_netgraph.Network
+
+let port_of_channel net c =
+  let u = Network.src net c in
+  let adj = Network.out_channels net u in
+  let rec go i =
+    if i >= Array.length adj then
+      invalid_arg "Lft.port_of_channel: channel not at its source node"
+    else if adj.(i) = c then i
+    else go (i + 1)
+  in
+  go 0
+
+let dump ?switches (t : Table.t) =
+  let net = t.Table.net in
+  let switches =
+    match switches with Some s -> s | None -> Network.switches net
+  in
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun sw ->
+       Buffer.add_string buf
+         (Printf.sprintf "switch %d (%d ports)\n" sw (Network.degree net sw));
+       Array.iter
+         (fun dest ->
+            if dest <> sw then begin
+              let c = Table.next t ~node:sw ~dest in
+              if c >= 0 then
+                Buffer.add_string buf
+                  (Printf.sprintf "  dest %5d -> port %2d (to node %d)\n" dest
+                     (port_of_channel net c) (Network.dst net c))
+              else
+                Buffer.add_string buf
+                  (Printf.sprintf "  dest %5d -> UNROUTED\n" dest)
+            end)
+         t.Table.dests;
+       Buffer.add_char buf '\n')
+    switches;
+  Buffer.contents buf
+
+let dump_paths ~sources ~dests (t : Table.t) =
+  let net = t.Table.net in
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun dest ->
+       Array.iter
+         (fun src ->
+            if src <> dest then begin
+              Buffer.add_string buf (Printf.sprintf "%d -> %d: " src dest);
+              (match Table.path_with_vls t ~src ~dest with
+               | None -> Buffer.add_string buf "UNREACHABLE"
+               | Some hops ->
+                 Buffer.add_string buf (string_of_int src);
+                 List.iter
+                   (fun (c, vl) ->
+                      Buffer.add_string buf
+                        (Printf.sprintf " -[vl%d]-> %d" vl (Network.dst net c)))
+                   hops);
+              Buffer.add_char buf '\n'
+            end)
+         sources)
+    dests;
+  Buffer.contents buf

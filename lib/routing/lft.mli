@@ -1,0 +1,19 @@
+(** Linear-forwarding-table dumps, in the spirit of OpenSM's
+    dump_lfts / SL2VL output.
+
+    [dump] renders one block per switch: each routed destination with
+    the output port (the index of the next channel among the switch's
+    out-channels) and, when the table uses several virtual lanes, the
+    packet's lane at that hop. [dump_paths] renders explicit channel
+    sequences for debugging. *)
+
+val dump : ?switches:int array -> Table.t -> string
+
+val dump_paths :
+  sources:int array -> dests:int array -> Table.t -> string
+(** One line per (source, destination) pair: the node sequence with
+    per-hop virtual lanes, or UNREACHABLE. *)
+
+val port_of_channel : Nue_netgraph.Network.t -> int -> int
+(** The position of a channel within its source node's out-channel list
+    (InfiniBand port numbering, 0-based). *)

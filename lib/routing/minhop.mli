@@ -1,0 +1,13 @@
+(** MinHop routing: shortest paths with port-load balancing, as in
+    OpenSM's default engine. Not deadlock-free on topologies with rings;
+    used as a path-quality baseline and as the path generator whose
+    "required VCs" Fig. 1b reports. *)
+
+val route :
+  ?dests:int array ->
+  ?sources:int array ->
+  Nue_netgraph.Network.t ->
+  Table.t
+(** Destinations and sources default to the network's terminals. The
+    resulting table claims a single VL; check deadlock-freedom with
+    {!Verify} or layer it with {!Layers}. *)

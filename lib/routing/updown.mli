@@ -1,0 +1,16 @@
+(** Up*/Down* routing (Schroeder et al., Autonet): channels are oriented
+    up (toward a root) or down by a BFS ranking; legal paths climb zero
+    or more up channels and then descend zero or more down channels.
+    Deadlock-free with a single virtual lane on any topology, at the
+    price of poor balance around the root (Section 6 of the paper). *)
+
+val route :
+  ?root:int ->
+  ?dests:int array ->
+  ?sources:int array ->
+  Nue_netgraph.Network.t ->
+  Table.t
+(** [root] defaults to a minimum-eccentricity switch. The table is
+    destination-based: every node picks an all-down continuation when
+    one exists, otherwise the shortest up-then-legal continuation, which
+    keeps concatenated paths legal. *)

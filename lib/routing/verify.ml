@@ -1,0 +1,162 @@
+module Network = Nue_netgraph.Network
+module Digraph = Nue_cdg.Digraph
+
+type report = {
+  connected : bool;
+  cycle_free : bool;
+  deadlock_free : bool;
+  unreachable_pairs : int;
+  dependency_cycle : (int * int) list option;
+}
+
+let default_sources (t : Table.t) = Network.terminals t.net
+
+let induced_vcdg ?sources (t : Table.t) =
+  let sources = match sources with Some s -> s | None -> default_sources t in
+  let nc = Network.num_channels t.net in
+  let nn = Network.num_nodes t.net in
+  let g = Digraph.create (nc * max 1 t.num_vls) in
+  let vid c vl = (vl * nc) + c in
+  let add a b = if not (Digraph.mem_edge g a b) then Digraph.add_edge g a b in
+  let per_dest_layer =
+    (* When the whole destination tree lives on one VL, dependencies can
+       be read off the tree in O(|N|) instead of walking every path. *)
+    match t.vl with
+    | Table.All_zero -> Some (fun _ -> 0)
+    | Table.Per_dest a -> Some (fun pos -> a.(pos))
+    | Table.Per_pair _ | Table.Per_hop _ -> None
+  in
+  (match per_dest_layer with
+   | Some layer_of ->
+     let on_path = Array.make nn false in
+     Array.iteri
+       (fun pos dest ->
+          let vl = layer_of pos in
+          let nexts = t.next_channel.(pos) in
+          Array.fill on_path 0 nn false;
+          (* Mark the nodes reachable from the sources along the tree
+             (amortized O(|N|) over all sources). *)
+          Array.iter
+            (fun src ->
+               let rec mark node hops =
+                 if node <> dest && hops <= nn && not on_path.(node) then begin
+                   on_path.(node) <- true;
+                   let c = nexts.(node) in
+                   if c >= 0 then mark (Network.dst t.net c) (hops + 1)
+                 end
+               in
+               mark src 0)
+            sources;
+          for node = 0 to nn - 1 do
+            if on_path.(node) then begin
+              let c1 = nexts.(node) in
+              if c1 >= 0 then begin
+                let m = Network.dst t.net c1 in
+                if m <> dest && on_path.(m) then begin
+                  let c2 = nexts.(m) in
+                  if c2 >= 0 then add (vid c1 vl) (vid c2 vl)
+                end
+              end
+            end
+          done)
+       t.dests
+   | None ->
+     Array.iter
+       (fun dest ->
+          Array.iter
+            (fun src ->
+               if src <> dest then
+                 match Table.path_with_vls t ~src ~dest with
+                 | None -> ()
+                 | Some hops ->
+                   let rec walk = function
+                     | (c1, v1) :: ((c2, v2) :: _ as rest) ->
+                       add (vid c1 v1) (vid c2 v2);
+                       walk rest
+                     | _ -> ()
+                   in
+                   walk hops)
+            sources)
+       t.dests);
+  g
+
+let check ?sources (t : Table.t) =
+  let sources = match sources with Some s -> s | None -> default_sources t in
+  let nc = Network.num_channels t.net in
+  let unreachable = ref 0 in
+  let cycle_free = ref true in
+  Array.iter
+    (fun dest ->
+       Array.iter
+         (fun src ->
+            if src <> dest then
+              match Table.path t ~src ~dest with
+              | Some _ -> ()
+              | None ->
+                incr unreachable;
+                (* Distinguish loop from dead-end: a dead-end is a
+                   connectivity failure, a loop violates cycle-freedom.
+                   [Table.path] returns None for both; recheck. *)
+                let pos = Table.dest_position t dest in
+                let nexts = t.next_channel.(pos) in
+                let seen = Hashtbl.create 16 in
+                let rec go node =
+                  if node = dest then ()
+                  else if Hashtbl.mem seen node then cycle_free := false
+                  else begin
+                    Hashtbl.replace seen node ();
+                    let c = nexts.(node) in
+                    if c >= 0 then go (Network.dst t.net c)
+                  end
+                in
+                go src)
+         sources)
+    t.dests;
+  let g = induced_vcdg ~sources t in
+  let cycle = Digraph.find_cycle g in
+  {
+    connected = !unreachable = 0;
+    cycle_free = !cycle_free;
+    deadlock_free = cycle = None;
+    unreachable_pairs = !unreachable;
+    dependency_cycle =
+      Option.map (List.map (fun v -> (v mod nc, v / nc))) cycle;
+  }
+
+let deadlock_free ?sources t =
+  Digraph.is_acyclic (induced_vcdg ?sources t)
+
+let connected ?sources (t : Table.t) =
+  let sources = match sources with Some s -> s | None -> default_sources t in
+  Array.for_all
+    (fun dest ->
+       Array.for_all
+         (fun src ->
+            src = dest || Table.path t ~src ~dest <> None)
+         sources)
+    t.dests
+
+let vls_used ?sources (t : Table.t) =
+  let sources = match sources with Some s -> s | None -> default_sources t in
+  let seen = Hashtbl.create 8 in
+  (match t.vl with
+   | Table.All_zero -> Hashtbl.replace seen 0 ()
+   | Table.Per_dest a -> Array.iter (fun v -> Hashtbl.replace seen v ()) a
+   | Table.Per_pair a ->
+     Array.iter
+       (fun per_src ->
+          Array.iter (fun v -> Hashtbl.replace seen v ()) per_src)
+       a
+   | Table.Per_hop _ ->
+     Array.iter
+       (fun dest ->
+          Array.iter
+            (fun src ->
+               if src <> dest then
+                 match Table.path_with_vls t ~src ~dest with
+                 | None -> ()
+                 | Some hops ->
+                   List.iter (fun (_, v) -> Hashtbl.replace seen v ()) hops)
+            sources)
+       t.dests);
+  Hashtbl.length seen

@@ -1,0 +1,33 @@
+(** Validity checks for routing tables (Definition 3 + Theorem 1).
+
+    A routing is valid iff it is destination-based (structural for
+    [Table.t]), cycle-free, connected, and deadlock-free. Deadlock
+    freedom is checked on the virtual channel dependency graph: vertices
+    are (channel, virtual lane) pairs and an edge connects the resources
+    held/requested by consecutive hops of some path. By Dally & Seitz
+    this graph is acyclic iff the routing is deadlock-free. *)
+
+type report = {
+  connected : bool;       (** every source reaches every destination *)
+  cycle_free : bool;      (** no forwarding loop for any pair *)
+  deadlock_free : bool;   (** acyclic virtual channel dependency graph *)
+  unreachable_pairs : int;
+  dependency_cycle : (int * int) list option;
+      (** witness: (channel, vl) cycle if one exists *)
+}
+
+val check : ?sources:int array -> Table.t -> report
+(** Full validation. [sources] defaults to the network's terminals;
+    destinations are the table's routed destinations. *)
+
+val deadlock_free : ?sources:int array -> Table.t -> bool
+
+val connected : ?sources:int array -> Table.t -> bool
+
+val induced_vcdg : ?sources:int array -> Table.t -> Nue_cdg.Digraph.t
+(** The induced virtual channel dependency graph; vertex ids are
+    [vl * num_channels + channel]. *)
+
+val vls_used : ?sources:int array -> Table.t -> int
+(** Number of distinct virtual lanes actually appearing on the table's
+    paths (what Fig. 1b reports as the VCs a routing consumes). *)

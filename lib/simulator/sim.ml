@@ -1,0 +1,268 @@
+module Network = Nue_netgraph.Network
+module Table = Nue_routing.Table
+
+type config = {
+  buffer_flits : int;
+  link_latency : int;
+  flit_bytes : int;
+  mtu_bytes : int;
+  link_gbs : float;
+  max_cycles : int;
+  watchdog : int;
+}
+
+let default_config =
+  { buffer_flits = 8;
+    link_latency = 1;
+    flit_bytes = 64;
+    mtu_bytes = 2048;
+    link_gbs = 4.0;
+    max_cycles = 10_000_000;
+    watchdog = 20_000 }
+
+(* Nearest-rank percentile over the collected packet latencies. *)
+let percentile samples q =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    let n = Array.length a in
+    let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    a.(max 0 (min (n - 1) idx))
+
+type outcome = {
+  delivered_packets : int;
+  total_packets : int;
+  delivered_bytes : int;
+  cycles : int;
+  deadlock : bool;
+  aggregate_gbs : float;
+  avg_packet_latency : float;
+  latency_p50 : float;
+  latency_p99 : float;
+}
+
+(* A packet's route: channel and VL per hop, fixed at creation. *)
+type packet = {
+  bytes : int;
+  flits : int;
+  hops : int array;
+  hop_vl : int array;
+  mutable injected : int;
+  mutable inject_cycle : int;
+}
+
+let run ?(config = default_config) (table : Table.t) ~traffic =
+  let net = table.Table.net in
+  let nc = Network.num_channels net in
+  let nn = Network.num_nodes net in
+  let vls = max 1 table.Table.num_vls in
+  let flits_of_bytes b = (b + config.flit_bytes - 1) / config.flit_bytes in
+  (* Split messages into MTU packets and precompute routes. *)
+  let packets = ref [] in
+  let npackets = ref 0 in
+  List.iter
+    (fun { Traffic.src; dst; bytes } ->
+       if not (Network.is_terminal net src && Network.is_terminal net dst)
+       then invalid_arg "Sim.run: traffic endpoints must be terminals";
+       let hops_vls =
+         match Table.path_with_vls table ~src ~dest:dst with
+         | Some h -> h
+         | None -> invalid_arg "Sim.run: unrouted source-destination pair"
+       in
+       let hops = Array.of_list (List.map fst hops_vls) in
+       let hop_vl = Array.of_list (List.map snd hops_vls) in
+       Array.iter
+         (fun v ->
+            if v < 0 || v >= vls then
+              invalid_arg "Sim.run: path VL outside the table's VL range")
+         hop_vl;
+       let remaining = ref bytes in
+       while !remaining > 0 do
+         let chunk = min !remaining config.mtu_bytes in
+         remaining := !remaining - chunk;
+         packets :=
+           { bytes = chunk; flits = flits_of_bytes chunk; hops; hop_vl;
+             injected = 0; inject_cycle = -1 }
+           :: !packets;
+         incr npackets
+       done)
+    traffic;
+  let packets = Array.of_list (List.rev !packets) in
+  let total_packets = Array.length packets in
+  (* Flit encoding: packet id * 2 + tail flag. *)
+  let inj_queue = Array.make nn [] in
+  Array.iteri
+    (fun pid p ->
+       if Array.length p.hops > 0 then begin
+         let src = Network.src net p.hops.(0) in
+         inj_queue.(src) <- pid :: inj_queue.(src)
+       end)
+    packets;
+  let inj_queue =
+    Array.map (fun l -> Queue.of_seq (List.to_seq (List.rev l))) inj_queue
+  in
+  (* Receive-side FIFO, sender-side credit counter and wormhole owner,
+     one each per (channel, vl). *)
+  let unit_id c vl = (c * vls) + vl in
+  let fifos = Array.init (nc * vls) (fun _ -> Queue.create ()) in
+  let credits = Array.make (nc * vls) config.buffer_flits in
+  let owner = Array.make (nc * vls) (-1) in
+  (* Buffered flits per node: lets idle links be skipped. *)
+  let node_flits = Array.make nn 0 in
+  let pipe = Queue.create () in
+  let delivered_packets = ref 0 in
+  let delivered_bytes = ref 0 in
+  let cycle = ref 0 in
+  let last_movement = ref 0 in
+  let moved = ref false in
+  let latency_sum = ref 0.0 in
+  let latencies = ref [] in
+  let hop_index p c =
+    let rec go i =
+      if i >= Array.length p.hops then -1
+      else if p.hops.(i) = c then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let transmit c vl pid tail =
+    credits.(unit_id c vl) <- credits.(unit_id c vl) - 1;
+    owner.(unit_id c vl) <- (if tail then -1 else pid);
+    Queue.add
+      (!cycle + config.link_latency, c, vl, (pid * 2) + Bool.to_int tail)
+      pipe;
+    moved := true
+  in
+  let try_inject c u_node =
+    (not (Queue.is_empty inj_queue.(u_node)))
+    && begin
+      let pid = Queue.peek inj_queue.(u_node) in
+      let p = packets.(pid) in
+      let vl = p.hop_vl.(0) in
+      let own = owner.(unit_id c vl) in
+      if (own = -1 || own = pid) && credits.(unit_id c vl) > 0 then begin
+        if p.inject_cycle < 0 then p.inject_cycle <- !cycle;
+        p.injected <- p.injected + 1;
+        let tail = p.injected = p.flits in
+        transmit c vl pid tail;
+        if tail then ignore (Queue.pop inj_queue.(u_node));
+        true
+      end
+      else false
+    end
+  in
+  let try_forward c u_node =
+    (* Round-robin over the node's input units, rotating with the
+       cycle count so no unit is structurally starved. *)
+    let inc = Network.in_channels net u_node in
+    let n_units = Array.length inc * vls in
+    n_units > 0
+    && begin
+      let start = (!cycle + c) mod n_units in
+      let rec scan k =
+        k < n_units
+        && begin
+          let idx = (start + k) mod n_units in
+          let ci = inc.(idx / vls) and vli = idx mod vls in
+          let fifo = fifos.(unit_id ci vli) in
+          match Queue.peek_opt fifo with
+          | None -> scan (k + 1)
+          | Some flit ->
+            let pid = flit / 2 in
+            let p = packets.(pid) in
+            let h = hop_index p ci in
+            if h < 0 || h + 1 >= Array.length p.hops then scan (k + 1)
+            else begin
+              let o = p.hops.(h + 1) and vlo = p.hop_vl.(h + 1) in
+              if o <> c then scan (k + 1)
+              else begin
+                let own = owner.(unit_id o vlo) in
+                if (own = -1 || own = pid) && credits.(unit_id o vlo) > 0
+                then begin
+                  let fl = Queue.pop fifo in
+                  node_flits.(u_node) <- node_flits.(u_node) - 1;
+                  credits.(unit_id ci vli) <- credits.(unit_id ci vli) + 1;
+                  transmit o vlo pid (fl land 1 = 1);
+                  true
+                end
+                else scan (k + 1)
+              end
+            end
+        end
+      in
+      scan 0
+    end
+  in
+  let arbitrate_channel c =
+    let u_node = Network.src net c in
+    if node_flits.(u_node) > 0 || not (Queue.is_empty inj_queue.(u_node))
+    then begin
+      (* Alternate injection/through priority so neither starves. *)
+      if !cycle land 1 = 0 then begin
+        if not (try_inject c u_node) then ignore (try_forward c u_node)
+      end
+      else if not (try_forward c u_node) then ignore (try_inject c u_node)
+    end
+  in
+  let deliver flit =
+    let pid = flit / 2 in
+    let p = packets.(pid) in
+    if flit land 1 = 1 then begin
+      incr delivered_packets;
+      delivered_bytes := !delivered_bytes + p.bytes;
+      let lat = float_of_int (!cycle - p.inject_cycle) in
+      latency_sum := !latency_sum +. lat;
+      latencies := lat :: !latencies
+    end
+  in
+  let deadlocked = ref false in
+  while
+    !delivered_packets < total_packets
+    && (not !deadlocked)
+    && !cycle < config.max_cycles
+  do
+    moved := false;
+    for c = 0 to nc - 1 do
+      arbitrate_channel c
+    done;
+    (* Land flits whose wire time elapsed (pipe is time-ordered because
+       latency is constant). *)
+    let landing = ref true in
+    while !landing do
+      match Queue.peek_opt pipe with
+      | Some (t, c, vl, flit) when t <= !cycle ->
+        ignore (Queue.pop pipe);
+        let dst_node = Network.dst net c in
+        if Network.is_terminal net dst_node then begin
+          credits.(unit_id c vl) <- credits.(unit_id c vl) + 1;
+          deliver flit
+        end
+        else begin
+          Queue.add flit fifos.(unit_id c vl);
+          node_flits.(dst_node) <- node_flits.(dst_node) + 1
+        end
+      | _ -> landing := false
+    done;
+    if !moved then last_movement := !cycle;
+    if !cycle - !last_movement > config.watchdog then deadlocked := true;
+    incr cycle
+  done;
+  let cycles = max 1 !cycle in
+  (* One flit per cycle per link at [link_gbs] implies the cycle time. *)
+  let seconds =
+    float_of_int cycles *. float_of_int config.flit_bytes
+    /. (config.link_gbs *. 1e9)
+  in
+  { delivered_packets = !delivered_packets;
+    total_packets;
+    delivered_bytes = !delivered_bytes;
+    cycles;
+    deadlock = !deadlocked;
+    aggregate_gbs = float_of_int !delivered_bytes /. 1e9 /. seconds;
+    avg_packet_latency =
+      (if !delivered_packets = 0 then 0.0
+       else !latency_sum /. float_of_int !delivered_packets);
+    latency_p50 = percentile !latencies 0.50;
+    latency_p99 = percentile !latencies 0.99 }

@@ -1,0 +1,50 @@
+(** Cycle-based flit-level network simulator.
+
+    Models an InfiniBand-like lossless fabric: input-buffered switches
+    with one FIFO per (channel, virtual lane), credit-based flow
+    control, wormhole switching with per-VL output ownership and
+    round-robin link arbitration, and per-hop virtual-lane selection
+    taken from the routing table (SL-to-VL style). A watchdog detects
+    deadlock: if no flit moves for [watchdog] cycles while packets are
+    outstanding, the run aborts and reports it — routing functions with
+    cyclic dependency graphs visibly hang here, Nue's never do.
+
+    This is the reduced-scale substitute for the paper's OMNeT++
+    toolchain; see DESIGN.md for the substitution rationale. *)
+
+type config = {
+  buffer_flits : int;   (** input buffer capacity per (channel, VL) *)
+  link_latency : int;   (** cycles a flit spends on a wire *)
+  flit_bytes : int;
+  mtu_bytes : int;      (** maximum packet payload; messages are split *)
+  link_gbs : float;     (** physical link rate, GB/s (QDR = 4.0) *)
+  max_cycles : int;
+  watchdog : int;       (** idle cycles before declaring deadlock *)
+}
+
+val default_config : config
+(** 8-flit buffers, latency 1, 64 B flits, 2 KiB MTU, 4 GB/s links,
+    10M-cycle cap, 20k-cycle watchdog. *)
+
+type outcome = {
+  delivered_packets : int;
+  total_packets : int;
+  delivered_bytes : int;
+  cycles : int;
+  deadlock : bool;
+  aggregate_gbs : float;  (** delivered bytes over the simulated time *)
+  avg_packet_latency : float; (** cycles from injection-eligible to tail
+                                  delivery, averaged *)
+  latency_p50 : float;        (** median packet latency, cycles *)
+  latency_p99 : float;        (** 99th-percentile packet latency, cycles *)
+}
+
+val run :
+  ?config:config ->
+  Nue_routing.Table.t ->
+  traffic:Traffic.message list ->
+  outcome
+(** Simulate the traffic to completion (or watchdog/cycle-cap abort).
+    @raise Invalid_argument if a message endpoint is not a terminal, a
+    destination is not routed by the table, or the table needs more VLs
+    than the paths declare. *)

@@ -1,0 +1,125 @@
+module Network = Nue_netgraph.Network
+module Prng = Nue_structures.Prng
+
+type message = {
+  src : int;
+  dst : int;
+  bytes : int;
+}
+
+let all_to_all_shift net ~message_bytes =
+  let terms = Network.terminals net in
+  let t = Array.length terms in
+  let acc = ref [] in
+  for phase = t - 1 downto 1 do
+    for i = t - 1 downto 0 do
+      acc :=
+        { src = terms.(i); dst = terms.((i + phase) mod t);
+          bytes = message_bytes }
+        :: !acc
+    done
+  done;
+  !acc
+
+let uniform_random prng net ~messages_per_terminal ~message_bytes =
+  let terms = Network.terminals net in
+  let t = Array.length terms in
+  let acc = ref [] in
+  Array.iter
+    (fun src ->
+       for _ = 1 to messages_per_terminal do
+         let rec pick () =
+           let d = terms.(Prng.int prng t) in
+           if d = src then pick () else d
+         in
+         acc := { src; dst = pick (); bytes = message_bytes } :: !acc
+       done)
+    terms;
+  !acc
+
+let permutation prng net ~message_bytes =
+  let terms = Array.copy (Network.terminals net) in
+  let shuffled = Array.copy terms in
+  Prng.shuffle prng shuffled;
+  (* Avoid fixed points by rotating one step when src = dst. *)
+  let t = Array.length terms in
+  let acc = ref [] in
+  for i = 0 to t - 1 do
+    let dst =
+      if shuffled.(i) = terms.(i) then shuffled.((i + 1) mod t)
+      else shuffled.(i)
+    in
+    if dst <> terms.(i) then
+      acc := { src = terms.(i); dst; bytes = message_bytes } :: !acc
+  done;
+  !acc
+
+let tornado net ~message_bytes =
+  let terms = Network.terminals net in
+  let t = Array.length terms in
+  let acc = ref [] in
+  for i = t - 1 downto 0 do
+    let j = (i + (t / 2)) mod t in
+    if j <> i then
+      acc := { src = terms.(i); dst = terms.(j); bytes = message_bytes } :: !acc
+  done;
+  !acc
+
+let transpose net ~message_bytes =
+  let terms = Network.terminals net in
+  let t = Array.length terms in
+  let side = int_of_float (sqrt (float_of_int t)) in
+  let acc = ref [] in
+  for i = (side * side) - 1 downto 0 do
+    let r = i / side and c = i mod side in
+    let j = (c * side) + r in
+    if j <> i then
+      acc := { src = terms.(i); dst = terms.(j); bytes = message_bytes } :: !acc
+  done;
+  !acc
+
+let bit_reverse net ~message_bytes =
+  let terms = Network.terminals net in
+  let t = Array.length terms in
+  let bits =
+    let rec go b = if 1 lsl (b + 1) <= t then go (b + 1) else b in
+    go 0
+  in
+  let block = 1 lsl bits in
+  let reverse i =
+    let r = ref 0 in
+    for b = 0 to bits - 1 do
+      if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+    done;
+    !r
+  in
+  let acc = ref [] in
+  for i = block - 1 downto 0 do
+    let j = reverse i in
+    if j <> i then
+      acc := { src = terms.(i); dst = terms.(j); bytes = message_bytes } :: !acc
+  done;
+  !acc
+
+let hotspot prng net ~hot_fraction ~messages_per_terminal ~message_bytes =
+  let terms = Network.terminals net in
+  let t = Array.length terms in
+  let hot = terms.(Prng.int prng t) in
+  let acc = ref [] in
+  Array.iter
+    (fun src ->
+       for _ = 1 to messages_per_terminal do
+         let dst =
+           if src <> hot && Prng.float prng 1.0 < hot_fraction then hot
+           else begin
+             let rec pick () =
+               let d = terms.(Prng.int prng t) in
+               if d = src then pick () else d
+             in
+             pick ()
+           end
+         in
+         acc := { src; dst; bytes = message_bytes } :: !acc
+       done)
+    terms;
+  !acc

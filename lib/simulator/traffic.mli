@@ -1,0 +1,56 @@
+(** Traffic patterns for the flit-level simulator.
+
+    The paper's evaluation measures an all-to-all exchange with 2 KiB
+    messages, realized as shift phases: in phase p terminal i sends to
+    terminal (i + p) mod T (Section 5.2). *)
+
+type message = {
+  src : int;
+  dst : int;
+  bytes : int;
+}
+
+val all_to_all_shift :
+  Nue_netgraph.Network.t -> message_bytes:int -> message list
+(** One message from every terminal to every other terminal, ordered by
+    shift distance (each terminal's send queue cycles through all
+    partners). *)
+
+val uniform_random :
+  Nue_structures.Prng.t ->
+  Nue_netgraph.Network.t ->
+  messages_per_terminal:int ->
+  message_bytes:int ->
+  message list
+(** Uniform random destinations (the paper notes this behaves like the
+    shift pattern for Nue). *)
+
+val permutation :
+  Nue_structures.Prng.t ->
+  Nue_netgraph.Network.t ->
+  message_bytes:int ->
+  message list
+(** One random permutation: every terminal sends one message, every
+    terminal receives one. *)
+
+val tornado : Nue_netgraph.Network.t -> message_bytes:int -> message list
+(** Each terminal sends one message to the terminal half-way around the
+    terminal ordering (the classic adversarial pattern for rings/tori). *)
+
+val transpose : Nue_netgraph.Network.t -> message_bytes:int -> message list
+(** Terminal (i, j) of the implicit sqrt(T) x sqrt(T) grid sends to
+    (j, i); terminals beyond the largest square are left idle. *)
+
+val bit_reverse : Nue_netgraph.Network.t -> message_bytes:int -> message list
+(** Terminal i sends to the terminal whose index is i's bit-reversal in
+    the largest power-of-two block; remaining terminals are idle. *)
+
+val hotspot :
+  Nue_structures.Prng.t ->
+  Nue_netgraph.Network.t ->
+  hot_fraction:float ->
+  messages_per_terminal:int ->
+  message_bytes:int ->
+  message list
+(** Uniform random traffic where each message targets a single hot
+    terminal with probability [hot_fraction]. *)

@@ -1,0 +1,29 @@
+(** Fixed-capacity bitset over [0 .. n-1].
+
+    Dense visited/marked sets for the graph traversals; constant-time
+    membership with O(n/64) clearing. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set with capacity [n]. *)
+
+val capacity : t -> int
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val clear : t -> unit
+(** Remove every element. *)
+
+val cardinal : t -> int
+(** Number of elements; O(n/64). *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val to_list : t -> int list
+(** Members in increasing order. *)

@@ -1,0 +1,220 @@
+(* Classic Fibonacci heap (Fredman & Tarjan 1987).
+
+   Nodes form circular doubly-linked sibling lists; roots form the root
+   list. [min_root] points at the minimum root. Consolidation after
+   extract-min links trees of equal degree; decrease-key cuts nodes and
+   cascades through marked ancestors. *)
+
+type 'a node = {
+  mutable key : float;
+  value : 'a;
+  mutable parent : 'a node option;
+  mutable child : 'a node option;
+  mutable left : 'a node;   (* circular sibling list *)
+  mutable right : 'a node;
+  mutable degree : int;
+  mutable marked : bool;
+  mutable in_heap : bool;
+}
+
+type 'a t = {
+  mutable min_root : 'a node option;
+  mutable count : int;
+}
+
+let create () = { min_root = None; count = 0 }
+
+let is_empty t = t.count = 0
+
+let size t = t.count
+
+let key n = n.key
+
+let value n = n.value
+
+let mem n = n.in_heap
+
+(* Splice node [n] (a singleton or detached node) into the circular list
+   to the right of [anchor]. *)
+let splice_right anchor n =
+  n.left <- anchor;
+  n.right <- anchor.right;
+  anchor.right.left <- n;
+  anchor.right <- n
+
+(* Remove [n] from its sibling list; afterwards its left/right are stale. *)
+let unlink n =
+  n.left.right <- n.right;
+  n.right.left <- n.left
+
+let add_root t n =
+  n.parent <- None;
+  match t.min_root with
+  | None ->
+    n.left <- n;
+    n.right <- n;
+    t.min_root <- Some n
+  | Some m ->
+    splice_right m n;
+    if n.key < m.key then t.min_root <- Some n
+
+let insert t ~key v =
+  let rec n =
+    { key; value = v; parent = None; child = None; left = n; right = n;
+      degree = 0; marked = false; in_heap = true }
+  in
+  add_root t n;
+  t.count <- t.count + 1;
+  n
+
+let find_min t = t.min_root
+
+(* Make [child] a child of [root]; both must currently be roots and
+   [child] must already be unlinked from the root list. *)
+let link ~root ~child =
+  child.parent <- Some root;
+  child.marked <- false;
+  (match root.child with
+   | None ->
+     child.left <- child;
+     child.right <- child;
+     root.child <- Some child
+   | Some c -> splice_right c child);
+  root.degree <- root.degree + 1
+
+let max_degree count =
+  (* floor(log_phi count) + 2 is a safe bound; use log2-based bound. *)
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  2 * go 0 count + 2
+
+let consolidate t =
+  match t.min_root with
+  | None -> ()
+  | Some start ->
+    (* Collect the current roots into an array first, because linking
+       mutates the root list while we iterate. *)
+    let roots = ref [] in
+    let cur = ref start in
+    let continue = ref true in
+    while !continue do
+      roots := !cur :: !roots;
+      cur := !cur.right;
+      if !cur == start then continue := false
+    done;
+    let slots = Array.make (max_degree t.count) None in
+    let place r =
+      let r = ref r in
+      let d = ref !r.degree in
+      while !d < Array.length slots && slots.(!d) <> None do
+        (match slots.(!d) with
+         | None -> assert false
+         | Some other ->
+           slots.(!d) <- None;
+           let root, child =
+             if !r.key <= other.key then !r, other else other, !r
+           in
+           link ~root ~child;
+           r := root;
+           d := root.degree)
+      done;
+      slots.(!d) <- Some !r
+    in
+    List.iter
+      (fun r ->
+         (* Detach from whatever list it is in; it becomes a candidate. *)
+         unlink r;
+         r.left <- r;
+         r.right <- r;
+         place r)
+      !roots;
+    t.min_root <- None;
+    Array.iter
+      (function
+        | None -> ()
+        | Some r -> add_root t r)
+      slots
+
+let extract_min t =
+  match t.min_root with
+  | None -> None
+  | Some m ->
+    (* Promote children of the minimum to roots. *)
+    (match m.child with
+     | None -> ()
+     | Some c ->
+       let cur = ref c in
+       let continue = ref true in
+       let children = ref [] in
+       while !continue do
+         children := !cur :: !children;
+         cur := !cur.right;
+         if !cur == c then continue := false
+       done;
+       List.iter
+         (fun ch ->
+            unlink ch;
+            ch.left <- ch;
+            ch.right <- ch;
+            add_root t ch)
+         !children;
+       m.child <- None);
+    if m.right == m then t.min_root <- None
+    else begin
+      t.min_root <- Some m.right;
+      unlink m
+    end;
+    m.in_heap <- false;
+    t.count <- t.count - 1;
+    consolidate t;
+    Some (m.value, m.key)
+
+let cut t n parent =
+  (* Remove n from parent's child list and make it a root. *)
+  if n.right == n then parent.child <- None
+  else begin
+    if (match parent.child with Some c -> c == n | None -> false) then
+      parent.child <- Some n.right;
+    unlink n
+  end;
+  parent.degree <- parent.degree - 1;
+  n.left <- n;
+  n.right <- n;
+  n.marked <- false;
+  add_root t n
+
+let rec cascading_cut t n =
+  match n.parent with
+  | None -> ()
+  | Some p ->
+    if not n.marked then n.marked <- true
+    else begin
+      cut t n p;
+      cascading_cut t p
+    end
+
+let decrease_key t n k =
+  if not n.in_heap then invalid_arg "Fib_heap.decrease_key: node not in heap";
+  if k > n.key then invalid_arg "Fib_heap.decrease_key: key increase";
+  n.key <- k;
+  (match n.parent with
+   | Some p when k < p.key ->
+     cut t n p;
+     cascading_cut t p
+   | _ -> ());
+  (match t.min_root with
+   | Some m when k < m.key -> t.min_root <- Some n
+   | _ -> ())
+
+let remove t n =
+  if not n.in_heap then invalid_arg "Fib_heap.remove: node not in heap";
+  (* Force the node to the minimum and extract it. *)
+  n.key <- neg_infinity;
+  (match n.parent with
+   | Some p ->
+     cut t n p;
+     cascading_cut t p
+   | None -> ());
+  t.min_root <- Some n;
+  match extract_min t with
+  | Some _ -> ()
+  | None -> assert false

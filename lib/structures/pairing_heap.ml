@@ -1,0 +1,130 @@
+(* Pairing heap (Fredman, Sedgewick, Sleator, Tarjan 1986) with parent
+   pointers for decrease-key: cut the node from its sibling list and
+   meld it with the root. *)
+
+type 'a node = {
+  mutable key : float;
+  value : 'a;
+  mutable child : 'a node option;     (* leftmost child *)
+  mutable sibling : 'a node option;   (* next sibling to the right *)
+  mutable parent : 'a node option;    (* parent, or previous sibling *)
+  mutable in_heap : bool;
+  mutable prev_is_parent : bool;      (* disambiguates [parent] *)
+}
+
+type 'a t = {
+  mutable root : 'a node option;
+  mutable count : int;
+}
+
+let create () = { root = None; count = 0 }
+
+let is_empty t = t.count = 0
+
+let size t = t.count
+
+let key n = n.key
+
+let value n = n.value
+
+let mem n = n.in_heap
+
+(* Meld two roots; both must be detached (no parent/sibling). *)
+let meld a b =
+  let parent, child = if a.key <= b.key then (a, b) else (b, a) in
+  child.sibling <- parent.child;
+  (match parent.child with
+   | Some c ->
+     c.parent <- Some child;
+     c.prev_is_parent <- false
+   | None -> ());
+  child.parent <- Some parent;
+  child.prev_is_parent <- true;
+  parent.child <- Some child;
+  parent
+
+let insert t ~key v =
+  let n =
+    { key; value = v; child = None; sibling = None; parent = None;
+      in_heap = true; prev_is_parent = false }
+  in
+  (match t.root with
+   | None -> t.root <- Some n
+   | Some r -> t.root <- Some (meld r n));
+  t.count <- t.count + 1;
+  n
+
+let find_min t = t.root
+
+(* Two-pass pairing of a sibling list. *)
+let rec merge_pairs = function
+  | [] -> None
+  | [ x ] -> Some x
+  | a :: b :: rest ->
+    let ab = meld a b in
+    (match merge_pairs rest with
+     | None -> Some ab
+     | Some r -> Some (meld ab r))
+
+let detach_children n =
+  let rec collect acc = function
+    | None -> acc
+    | Some c ->
+      let next = c.sibling in
+      c.sibling <- None;
+      c.parent <- None;
+      c.prev_is_parent <- false;
+      collect (c :: acc) next
+  in
+  let children = collect [] n.child in
+  n.child <- None;
+  children
+
+let extract_min t =
+  match t.root with
+  | None -> None
+  | Some r ->
+    r.in_heap <- false;
+    t.count <- t.count - 1;
+    t.root <- merge_pairs (detach_children r);
+    Some (r.value, r.key)
+
+(* Detach [n] from its position (it must not be the root). *)
+let cut n =
+  (match n.parent with
+   | None -> ()
+   | Some p ->
+     if n.prev_is_parent then begin
+       (* n is p's leftmost child. *)
+       p.child <- n.sibling;
+       match n.sibling with
+       | Some s ->
+         s.parent <- Some p;
+         s.prev_is_parent <- true
+       | None -> ()
+     end
+     else begin
+       (* p is n's left sibling. *)
+       p.sibling <- n.sibling;
+       match n.sibling with
+       | Some s ->
+         s.parent <- Some p;
+         s.prev_is_parent <- false
+       | None -> ()
+     end);
+  n.parent <- None;
+  n.sibling <- None;
+  n.prev_is_parent <- false
+
+let decrease_key t n k =
+  if not n.in_heap then
+    invalid_arg "Pairing_heap.decrease_key: node not in heap";
+  if k > n.key then invalid_arg "Pairing_heap.decrease_key: key increase";
+  n.key <- k;
+  match t.root with
+  | Some r when r == n -> ()
+  | _ ->
+    cut n;
+    (match t.root with
+     | None -> t.root <- Some n
+     | Some r -> t.root <- Some (meld r n))

@@ -1,0 +1,32 @@
+(** Pairing heap: a simpler mergeable min-heap with amortized O(log n)
+    decrease-key.
+
+    Kept alongside {!Fib_heap} as the pragmatic alternative — pairing
+    heaps usually win on constants despite the weaker decrease-key
+    bound; the bechamel suite compares the two under Dijkstra-shaped
+    workloads. The interface mirrors {!Fib_heap}. *)
+
+type 'a t
+
+type 'a node
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val insert : 'a t -> key:float -> 'a -> 'a node
+
+val find_min : 'a t -> 'a node option
+
+val extract_min : 'a t -> ('a * float) option
+
+val decrease_key : 'a t -> 'a node -> float -> unit
+(** @raise Invalid_argument on a key increase or an extracted node. *)
+
+val key : 'a node -> float
+
+val value : 'a node -> 'a
+
+val mem : 'a node -> bool

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every stochastic component of this repository (topology generation,
+    fault injection, partitioning tie-breaks, simulator arbitration jitter)
+    draws from an explicit [Prng.t] so that experiments are reproducible
+    bit-for-bit from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] initializes a generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same state. *)
+
+val split : t -> t
+(** [split t] derives a new independent stream and advances [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] is a uniformly chosen element of non-empty [a]. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] draws [k] distinct values from
+    [0, n); requires [k <= n]. The result is in random order. *)

@@ -1,0 +1,25 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by the coarsening phase of the multilevel partitioner and by
+    spanning-tree construction. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets. Returns [false] if they were already the same
+    set, [true] if a merge happened. *)
+
+val same : t -> int -> int -> bool
+(** Whether the two elements are in the same set. *)
+
+val count : t -> int
+(** Number of disjoint sets currently remaining. *)
+
+val set_size : t -> int -> int
+(** Size of the set containing the element. *)

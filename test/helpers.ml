@@ -1,0 +1,89 @@
+(* Shared fixtures for the test suites. *)
+
+module Network = Nue_netgraph.Network
+module Topology = Nue_netgraph.Topology
+module Prng = Nue_structures.Prng
+
+(* The paper's running example (Fig. 2a): a 5-node ring with a shortcut
+   between n3 and n5. Node ids 0..4 stand for n1..n5; [with_terminals]
+   attaches one terminal per switch (ids 5..9). *)
+let ring5 ?(with_terminals = true) () =
+  let b = Network.Builder.create ~name:"ring5+shortcut" () in
+  let sw = Array.init 5 (fun _ -> Network.Builder.add_switch b) in
+  for i = 0 to 4 do
+    Network.Builder.connect b sw.(i) sw.((i + 1) mod 5)
+  done;
+  (* Shortcut n3 (index 2) - n5 (index 4). *)
+  Network.Builder.connect b sw.(2) sw.(4);
+  if with_terminals then
+    Array.iter
+      (fun s ->
+         let t = Network.Builder.add_terminal b in
+         Network.Builder.connect b t s)
+      sw;
+  Network.Builder.build b
+
+(* Plain ring of [n] switches, one terminal each. *)
+let ring ?(terminals = 1) n =
+  let b = Network.Builder.create ~name:(Printf.sprintf "ring%d" n) () in
+  let sw = Array.init n (fun _ -> Network.Builder.add_switch b) in
+  for i = 0 to n - 1 do
+    Network.Builder.connect b sw.(i) sw.((i + 1) mod n)
+  done;
+  Array.iter
+    (fun s ->
+       for _ = 1 to terminals do
+         let t = Network.Builder.add_terminal b in
+         Network.Builder.connect b t s
+       done)
+    sw;
+  Network.Builder.build b
+
+(* Line (path graph) of [n] switches, one terminal each. *)
+let line n =
+  let b = Network.Builder.create ~name:(Printf.sprintf "line%d" n) () in
+  let sw = Array.init n (fun _ -> Network.Builder.add_switch b) in
+  for i = 0 to n - 2 do
+    Network.Builder.connect b sw.(i) sw.(i + 1)
+  done;
+  Array.iter
+    (fun s ->
+       let t = Network.Builder.add_terminal b in
+       Network.Builder.connect b t s)
+    sw;
+  Network.Builder.build b
+
+let small_torus () = Topology.torus3d ~dims:(3, 3, 3) ~terminals_per_switch:2 ()
+
+let random_net ?(seed = 42) ?(switches = 20) ?(links = 50) ?(terminals = 2) ()
+    =
+  let prng = Prng.create seed in
+  Topology.random prng ~switches ~inter_switch_links:links
+    ~terminals_per_switch:terminals ()
+
+(* Random connected topology generator for property tests. *)
+let arbitrary_net =
+  let gen =
+    QCheck2.Gen.(
+      let* seed = int_range 0 100000 in
+      let* switches = int_range 4 24 in
+      let* extra = int_range 0 30 in
+      let* terminals = int_range 1 3 in
+      let links = switches - 1 + extra in
+      let max_links = switches * (switches - 1) / 2 in
+      let links = min links max_links in
+      return (seed, switches, links, terminals))
+  in
+  QCheck2.Gen.map
+    (fun (seed, switches, links, terminals) ->
+       let prng = Prng.create seed in
+       Topology.random prng ~switches ~inter_switch_links:links
+         ~terminals_per_switch:terminals ~max_switch_ports:64 ())
+    gen
+
+let check_table_valid name table =
+  let r = Nue_routing.Verify.check table in
+  Alcotest.(check bool) (name ^ ": connected") true r.Nue_routing.Verify.connected;
+  Alcotest.(check bool) (name ^ ": cycle-free") true r.Nue_routing.Verify.cycle_free;
+  Alcotest.(check bool)
+    (name ^ ": deadlock-free") true r.Nue_routing.Verify.deadlock_free

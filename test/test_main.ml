@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "nue"
+    (List.concat
+       [ Test_structures.suite;
+         Test_netgraph.suite;
+         Test_cdg.suite;
+         Test_routing.suite;
+         Test_core.suite;
+         Test_metrics.suite;
+         Test_extra.suite;
+         Test_io.suite;
+         Test_wave3.suite;
+         Test_properties.suite;
+         Test_sim.suite ])

@@ -1,0 +1,524 @@
+(* Tests for lib/routing: tables, verification, layer assignment and the
+   baseline routing algorithms. *)
+
+module Network = Nue_netgraph.Network
+module Topology = Nue_netgraph.Topology
+module Fault = Nue_netgraph.Fault
+module Table = Nue_routing.Table
+module Verify = Nue_routing.Verify
+module Layers = Nue_routing.Layers
+module Balance = Nue_routing.Balance
+module Minhop = Nue_routing.Minhop
+module Updown = Nue_routing.Updown
+module Dfsssp = Nue_routing.Dfsssp
+module Lash = Nue_routing.Lash
+module Torus2qos = Nue_routing.Torus2qos
+module Fattree = Nue_routing.Fattree
+module Prng = Nue_structures.Prng
+
+let test_case = Alcotest.test_case
+
+(* {1 Table} *)
+
+let table_paths () =
+  let net = Helpers.line 4 in
+  let table = Minhop.route net in
+  let terms = Network.terminals net in
+  let src = terms.(0) and dest = terms.(3) in
+  (match Table.path table ~src ~dest with
+   | None -> Alcotest.fail "no path"
+   | Some p ->
+     (* terminal -> s0 -> s1 -> s2 -> s3 -> terminal = 5 hops. *)
+     Alcotest.(check int) "hop count" 5 (List.length p);
+     Alcotest.(check (option int)) "hop_count agrees" (Some 5)
+       (Table.hop_count table ~src ~dest));
+  Alcotest.(check bool) "unknown dest raises" true
+    (match Table.path table ~src ~dest:0 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let table_next_is_destination_based () =
+  let net = Helpers.random_net () in
+  let table = Minhop.route net in
+  (* next() per (node, dest) is a function: trivially true for Table,
+     but check it is populated for all nodes and routed dests. *)
+  Array.iter
+    (fun dest ->
+       for node = 0 to Network.num_nodes net - 1 do
+         if node <> dest then
+           Alcotest.(check bool) "next exists" true
+             (Table.next table ~node ~dest >= 0)
+       done)
+    table.Table.dests
+
+let table_vl_schemes () =
+  let net = Helpers.line 3 in
+  let terms = Network.terminals net in
+  let base = Minhop.route net in
+  let per_dest =
+    Table.make ~net ~algorithm:"x" ~dests:base.Table.dests
+      ~next_channel:base.Table.next_channel
+      ~vl:(Table.Per_dest (Array.map (fun _ -> 1) base.Table.dests))
+      ~num_vls:2 ()
+  in
+  (match Table.path_with_vls per_dest ~src:terms.(0) ~dest:terms.(2) with
+   | Some hops -> List.iter (fun (_, vl) -> Alcotest.(check int) "vl=1" 1 vl) hops
+   | None -> Alcotest.fail "path expected");
+  let per_hop =
+    Table.make ~net ~algorithm:"x" ~dests:base.Table.dests
+      ~next_channel:base.Table.next_channel
+      ~vl:(Table.Per_hop (fun ~src:_ ~dest:_ ~hop ~channel:_ -> hop))
+      ~num_vls:8 ()
+  in
+  match Table.path_with_vls per_hop ~src:terms.(0) ~dest:terms.(2) with
+  | Some hops ->
+    List.iteri (fun i (_, vl) -> Alcotest.(check int) "vl=hop" i vl) hops
+  | None -> Alcotest.fail "path expected"
+
+(* {1 Balance} *)
+
+let balance_loads () =
+  let net = Helpers.line 3 in
+  let terms = Network.terminals net in
+  let table = Minhop.route net in
+  let pos = Table.dest_position table terms.(2) in
+  let loads =
+    Balance.channel_loads net ~nexts:table.Table.next_channel.(pos)
+      ~dest:terms.(2) ~sources:terms
+  in
+  (* Both other terminals route through switch link s1->s2. *)
+  let c12 = Option.get (Network.find_channel net 1 2) in
+  Alcotest.(check int) "shared middle link" 2 loads.(c12);
+  let c01 = Option.get (Network.find_channel net 0 1) in
+  Alcotest.(check int) "first link carries one" 1 loads.(c01)
+
+(* {1 Verify} *)
+
+let verify_accepts_valid () =
+  let net = Helpers.line 5 in
+  Helpers.check_table_valid "minhop on a tree" (Minhop.route net)
+
+let verify_detects_forwarding_loop () =
+  let net = Helpers.ring ~terminals:1 4 in
+  let terms = Network.terminals net in
+  let dests = [| terms.(0) |] in
+  let nn = Network.num_nodes net in
+  let nexts = Array.make nn (-1) in
+  (* Switches forward clockwise forever; terminals inject. *)
+  for i = 0 to 3 do
+    nexts.(i) <- Option.get (Network.find_channel net i ((i + 1) mod 4))
+  done;
+  Array.iter
+    (fun t -> nexts.(t) <- (Network.out_channels net t).(0))
+    terms;
+  let table =
+    Table.make ~net ~algorithm:"loopy" ~dests ~next_channel:[| nexts |]
+      ~vl:Table.All_zero ~num_vls:1 ()
+  in
+  let r = Verify.check table in
+  Alcotest.(check bool) "not cycle free" false r.Verify.cycle_free;
+  Alcotest.(check bool) "not connected" false r.Verify.connected
+
+let verify_detects_deadlock () =
+  (* Clockwise minimal-ish routing on a 4-ring: valid paths, cyclic
+     dependencies. *)
+  let net = Helpers.ring ~terminals:1 4 in
+  let terms = Network.terminals net in
+  let nn = Network.num_nodes net in
+  let next_channel =
+    Array.map
+      (fun dest ->
+         let dw = Network.terminal_attachment net dest in
+         let nexts = Array.make nn (-1) in
+         for i = 0 to 3 do
+           if i = dw then
+             nexts.(i) <- Option.get (Network.find_channel net i dest)
+           else
+             nexts.(i) <- Option.get (Network.find_channel net i ((i + 1) mod 4))
+         done;
+         Array.iter
+           (fun t -> if t <> dest then nexts.(t) <- (Network.out_channels net t).(0))
+           terms;
+         nexts)
+      terms
+  in
+  let table =
+    Table.make ~net ~algorithm:"clockwise" ~dests:terms ~next_channel
+      ~vl:Table.All_zero ~num_vls:1 ()
+  in
+  let r = Verify.check table in
+  Alcotest.(check bool) "connected" true r.Verify.connected;
+  Alcotest.(check bool) "cycle free paths" true r.Verify.cycle_free;
+  Alcotest.(check bool) "but deadlock prone" false r.Verify.deadlock_free;
+  (match r.Verify.dependency_cycle with
+   | Some cycle -> Alcotest.(check bool) "cycle witness" true (List.length cycle >= 3)
+   | None -> Alcotest.fail "expected a dependency cycle witness")
+
+let verify_vls_break_deadlock () =
+  (* The same clockwise ring routing becomes deadlock-free when each
+     destination gets its own virtual lane... it does not in general,
+     but splitting the one ring cycle across enough lanes does. Here:
+     per-dest lanes leave each lane's CDG a path, which is acyclic. *)
+  let net = Helpers.ring ~terminals:1 4 in
+  let terms = Network.terminals net in
+  let nn = Network.num_nodes net in
+  let next_channel =
+    Array.map
+      (fun dest ->
+         let dw = Network.terminal_attachment net dest in
+         let nexts = Array.make nn (-1) in
+         for i = 0 to 3 do
+           if i = dw then
+             nexts.(i) <- Option.get (Network.find_channel net i dest)
+           else
+             nexts.(i) <- Option.get (Network.find_channel net i ((i + 1) mod 4))
+         done;
+         Array.iter
+           (fun t -> if t <> dest then nexts.(t) <- (Network.out_channels net t).(0))
+           terms;
+         nexts)
+      terms
+  in
+  let vl = Array.init (Array.length terms) (fun i -> i) in
+  let table =
+    Table.make ~net ~algorithm:"clockwise-vl" ~dests:terms ~next_channel
+      ~vl:(Table.Per_dest vl) ~num_vls:(Array.length terms) ()
+  in
+  Alcotest.(check bool) "per-dest lanes deadlock-free" true
+    (Verify.deadlock_free table)
+
+(* {1 Layers} *)
+
+let layers_ring_needs_two () =
+  (* Clockwise routing on a ring needs a second layer to break the one
+     dependency cycle. *)
+  let net = Helpers.ring ~terminals:1 6 in
+  let terms = Network.terminals net in
+  let nn = Network.num_nodes net in
+  let next_channel =
+    Array.map
+      (fun dest ->
+         let dw = Network.terminal_attachment net dest in
+         let nexts = Array.make nn (-1) in
+         for i = 0 to 5 do
+           if i = dw then
+             nexts.(i) <- Option.get (Network.find_channel net i dest)
+           else
+             nexts.(i) <- Option.get (Network.find_channel net i ((i + 1) mod 6))
+         done;
+         Array.iter
+           (fun t -> if t <> dest then nexts.(t) <- (Network.out_channels net t).(0))
+           terms;
+         nexts)
+      terms
+  in
+  let vcs = Layers.required_vcs net ~dests:terms ~next_channel ~sources:terms in
+  (* Two layers are necessary; the greedy heuristic may use a couple
+     more because whole paths move together (real DFSSSP behaves the
+     same way). *)
+  Alcotest.(check bool) "between 2 and 4 layers" true (vcs >= 2 && vcs <= 4);
+  Alcotest.(check bool) "enough layers ok" true
+    (Layers.assign net ~dests:terms ~next_channel ~sources:terms
+       ~max_layers:vcs () <> None);
+  Alcotest.(check bool) "1 insufficient" true
+    (Layers.assign net ~dests:terms ~next_channel ~sources:terms
+       ~max_layers:1 () = None)
+
+let layers_tree_needs_one () =
+  let net = Helpers.line 5 in
+  let table = Minhop.route net in
+  let vcs =
+    Layers.required_vcs net ~dests:table.Table.dests
+      ~next_channel:table.Table.next_channel
+      ~sources:(Network.terminals net)
+  in
+  Alcotest.(check int) "trees are deadlock-free" 1 vcs
+
+let layers_assignment_is_deadlock_free () =
+  let t = Helpers.small_torus () in
+  let net = t.Topology.net in
+  let table = Minhop.route net in
+  let terms = Network.terminals net in
+  match
+    Layers.assign net ~dests:table.Table.dests
+      ~next_channel:table.Table.next_channel ~sources:terms ()
+  with
+  | None -> Alcotest.fail "unbounded assignment cannot fail"
+  | Some { Layers.vl; layers_used } ->
+    Alcotest.(check bool) "uses >= 2 layers on a torus" true (layers_used >= 2);
+    let layered =
+      Table.make ~net ~algorithm:"minhop-layered" ~dests:table.Table.dests
+        ~next_channel:table.Table.next_channel ~vl:(Table.Per_pair vl)
+        ~num_vls:layers_used ()
+    in
+    Alcotest.(check bool) "layered table deadlock-free" true
+      (Verify.deadlock_free layered)
+
+(* {1 MinHop} *)
+
+let minhop_shortest () =
+  let net = Helpers.random_net () in
+  let table = Minhop.route net in
+  let terms = Network.terminals net in
+  Array.iter
+    (fun dest ->
+       let bfs = Nue_netgraph.Graph_algo.bfs_distances net dest in
+       Array.iter
+         (fun src ->
+            if src <> dest then
+              match Table.hop_count table ~src ~dest with
+              | Some h -> Alcotest.(check int) "minimal" bfs.(src) h
+              | None -> Alcotest.fail "unreachable")
+         terms)
+    terms
+
+let minhop_valid_on_tree () =
+  Helpers.check_table_valid "minhop/line" (Minhop.route (Helpers.line 6))
+
+(* {1 Up*/Down*} *)
+
+let updown_deadlock_free_everywhere () =
+  let nets =
+    [ ("ring5", Helpers.ring5 ());
+      ("ring8", Helpers.ring ~terminals:2 8);
+      ("torus", (Helpers.small_torus ()).Topology.net);
+      ("random", Helpers.random_net ()) ]
+  in
+  List.iter
+    (fun (name, net) ->
+       let table = Updown.route net in
+       Helpers.check_table_valid ("updown/" ^ name) table;
+       Alcotest.(check int) (name ^ " single VL") 1 table.Table.num_vls)
+    nets
+
+let updown_paths_legal () =
+  (* No up move after a down move, with levels from the chosen root. *)
+  let net = Helpers.random_net ~seed:3 () in
+  let root = 0 in
+  let table = Updown.route ~root net in
+  let level = Nue_netgraph.Graph_algo.bfs_distances net root in
+  let is_down c =
+    let u = Network.src net c and v = Network.dst net c in
+    level.(v) > level.(u) || (level.(v) = level.(u) && v > u)
+  in
+  let terms = Network.terminals net in
+  Array.iter
+    (fun dest ->
+       Array.iter
+         (fun src ->
+            if src <> dest then
+              match Table.path table ~src ~dest with
+              | None -> Alcotest.fail "unreachable"
+              | Some p ->
+                let gone_down = ref false in
+                List.iter
+                  (fun c ->
+                     if is_down c then gone_down := true
+                     else if !gone_down then
+                       Alcotest.fail "up after down")
+                  p)
+         terms)
+    terms
+
+(* {1 DFSSSP} *)
+
+let dfsssp_small_tree_one_vl () =
+  let net = Helpers.line 4 in
+  match Dfsssp.route net with
+  | Error e -> Alcotest.fail e
+  | Ok table ->
+    Alcotest.(check int) "1 VL on a tree" 1 table.Table.num_vls;
+    Helpers.check_table_valid "dfsssp/line" table
+
+let dfsssp_torus_valid () =
+  let t = Helpers.small_torus () in
+  match Dfsssp.route t.Topology.net with
+  | Error e -> Alcotest.fail e
+  | Ok table ->
+    Helpers.check_table_valid "dfsssp/torus" table;
+    Alcotest.(check bool) "torus needs >= 2 VLs" true (table.Table.num_vls >= 2)
+
+let dfsssp_respects_vl_budget () =
+  let t = Helpers.small_torus () in
+  let needed = Dfsssp.required_vcs t.Topology.net in
+  Alcotest.(check bool) "budget below requirement fails" true
+    (match Dfsssp.route ~max_vls:(needed - 1) t.Topology.net with
+     | Error _ -> true
+     | Ok _ -> false)
+
+let dfsssp_paths_shortest () =
+  (* The first destination is routed before any weight update, so its
+     paths are hop-minimal; later destinations may trade hops for
+     balance (bounded stretch). *)
+  let net = Helpers.random_net ~seed:8 () in
+  match Dfsssp.route net with
+  | Error e -> Alcotest.fail e
+  | Ok table ->
+    let terms = Network.terminals net in
+    let first = table.Table.dests.(0) in
+    let bfs = Nue_netgraph.Graph_algo.bfs_distances net first in
+    Array.iter
+      (fun src ->
+         if src <> first then
+           match Table.hop_count table ~src ~dest:first with
+           | Some h -> Alcotest.(check int) "first dest minimal" bfs.(src) h
+           | None -> Alcotest.fail "unreachable")
+      terms;
+    let stats = Nue_metrics.Pathstats.compute table in
+    Alcotest.(check bool) "bounded stretch" true
+      (stats.Nue_metrics.Pathstats.max_hops <= 12)
+
+(* {1 LASH} *)
+
+let lash_valid_and_layered () =
+  (* A 6-ring forces ring segments of length >= 2, so LASH cannot fit
+     everything into one acyclic layer. (A 3x3x3 torus can: all ring
+     distances are 1.) *)
+  let net = Helpers.ring ~terminals:1 6 in
+  match Lash.route net with
+  | Error e -> Alcotest.fail e
+  | Ok table ->
+    Helpers.check_table_valid "lash/ring6" table;
+    Alcotest.(check bool) "at least 2 layers" true (table.Table.num_vls >= 2);
+    (* And the 3x3x3 torus stays valid whatever the layer count. *)
+    (match Lash.route (Helpers.small_torus ()).Topology.net with
+     | Error e -> Alcotest.fail e
+     | Ok t -> Helpers.check_table_valid "lash/torus333" t)
+
+let lash_tree_single_layer () =
+  let net = Helpers.line 5 in
+  match Lash.route net with
+  | Error e -> Alcotest.fail e
+  | Ok table ->
+    Alcotest.(check int) "1 layer" 1 table.Table.num_vls;
+    Helpers.check_table_valid "lash/line" table
+
+let lash_budget_failure () =
+  let net = Helpers.ring ~terminals:1 6 in
+  let needed = Lash.required_vcs net in
+  Alcotest.(check bool) "needs >= 2" true (needed >= 2);
+  match Lash.route ~max_vls:1 net with
+  | Error msg ->
+    Alcotest.(check bool) "mentions requirement" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected failure with 1 VL"
+
+(* {1 Torus-2QoS} *)
+
+let torus2qos_intact () =
+  let torus = Topology.torus3d ~dims:(4, 4, 3) ~terminals_per_switch:2 () in
+  let remap = Fault.identity torus.Topology.net in
+  match Torus2qos.route ~torus ~remap () with
+  | Error e -> Alcotest.fail e
+  | Ok table ->
+    Helpers.check_table_valid "torus2qos/intact" table;
+    (* DOR on an intact torus is minimal in each dimension-ring. *)
+    let terms = Network.terminals torus.Topology.net in
+    (match Table.hop_count table ~src:terms.(0) ~dest:terms.(1) with
+     | Some h -> Alcotest.(check bool) "short path" true (h <= 3)
+     | None -> Alcotest.fail "unreachable")
+
+let torus2qos_single_failure () =
+  let torus = Topology.torus3d ~dims:(4, 4, 3) ~terminals_per_switch:2 () in
+  let remap = Fault.remove_switches torus.Topology.net [ 5 ] in
+  match Torus2qos.route ~torus ~remap () with
+  | Error e -> Alcotest.fail e
+  | Ok table -> Helpers.check_table_valid "torus2qos/1-switch-fault" table
+
+let torus2qos_link_failure () =
+  let torus = Topology.torus3d ~dims:(4, 4, 3) ~terminals_per_switch:2 () in
+  let remap = Fault.remove_links torus.Topology.net [ (0, 1) ] in
+  match Torus2qos.route ~torus ~remap () with
+  | Error e -> Alcotest.fail e
+  | Ok table -> Helpers.check_table_valid "torus2qos/1-link-fault" table
+
+let torus2qos_double_ring_failure_fails () =
+  (* Two failures inside one x-ring cut all progress for some pairs. *)
+  let torus = Topology.torus3d ~dims:(5, 3, 3) ~terminals_per_switch:1 () in
+  let s a b c = torus.Topology.switch_of_coord.(a).(b).(c) in
+  (* Remove two links of the x-ring at y=0,z=0, islanding coordinate
+     x=1 within its ring. *)
+  let remap =
+    Fault.remove_links torus.Topology.net [ (s 0 0 0, s 1 0 0); (s 1 0 0, s 2 0 0) ]
+  in
+  match Torus2qos.route ~torus ~remap () with
+  | Error _ -> ()
+  | Ok table ->
+    (* If the dimension-reordering fallback still routed it, the result
+       must at least be valid. *)
+    Helpers.check_table_valid "torus2qos/2-faults" table
+
+(* {1 Fat-tree} *)
+
+let fattree_valid () =
+  let net = Topology.kary_ntree ~k:4 ~n:3 ~terminals_per_leaf:3 () in
+  match Fattree.route ~k:4 ~n:3 net with
+  | Error e -> Alcotest.fail e
+  | Ok table ->
+    Helpers.check_table_valid "fattree/4-ary-3-tree" table;
+    Alcotest.(check int) "single VL" 1 table.Table.num_vls
+
+let fattree_shortest () =
+  let net = Topology.kary_ntree ~k:3 ~n:2 ~terminals_per_leaf:2 () in
+  match Fattree.route ~k:3 ~n:2 net with
+  | Error e -> Alcotest.fail e
+  | Ok table ->
+    let terms = Network.terminals net in
+    Array.iter
+      (fun dest ->
+         let bfs = Nue_netgraph.Graph_algo.bfs_distances net dest in
+         Array.iter
+           (fun src ->
+              if src <> dest then
+                match Table.hop_count table ~src ~dest with
+                | Some h -> Alcotest.(check int) "minimal" bfs.(src) h
+                | None -> Alcotest.fail "unreachable")
+           terms)
+      terms
+
+let fattree_rejects_other_topologies () =
+  let net = Helpers.ring5 () in
+  Alcotest.(check bool) "rejected" true
+    (match Fattree.route ~k:4 ~n:3 net with Error _ -> true | Ok _ -> false)
+
+let suite =
+  [ ("table",
+     [ test_case "paths" `Quick table_paths;
+       test_case "destination-based population" `Quick
+         table_next_is_destination_based;
+       test_case "vl schemes" `Quick table_vl_schemes ]);
+    ("balance", [ test_case "channel loads" `Quick balance_loads ]);
+    ("verify",
+     [ test_case "accepts valid" `Quick verify_accepts_valid;
+       test_case "detects forwarding loop" `Quick verify_detects_forwarding_loop;
+       test_case "detects dependency cycle" `Quick verify_detects_deadlock;
+       test_case "virtual lanes break the cycle" `Quick verify_vls_break_deadlock ]);
+    ("layers",
+     [ test_case "ring needs two" `Quick layers_ring_needs_two;
+       test_case "tree needs one" `Quick layers_tree_needs_one;
+       test_case "assignment deadlock-free" `Quick
+         layers_assignment_is_deadlock_free ]);
+    ("minhop",
+     [ test_case "shortest paths" `Quick minhop_shortest;
+       test_case "valid on a tree" `Quick minhop_valid_on_tree ]);
+    ("updown",
+     [ test_case "deadlock-free everywhere" `Quick updown_deadlock_free_everywhere;
+       test_case "paths are up*/down* legal" `Quick updown_paths_legal ]);
+    ("dfsssp",
+     [ test_case "tree needs one VL" `Quick dfsssp_small_tree_one_vl;
+       test_case "valid on torus" `Quick dfsssp_torus_valid;
+       test_case "respects VL budget" `Quick dfsssp_respects_vl_budget;
+       test_case "shortest paths" `Quick dfsssp_paths_shortest ]);
+    ("lash",
+     [ test_case "valid and layered" `Quick lash_valid_and_layered;
+       test_case "tree single layer" `Quick lash_tree_single_layer;
+       test_case "budget failure" `Quick lash_budget_failure ]);
+    ("torus2qos",
+     [ test_case "intact torus" `Quick torus2qos_intact;
+       test_case "single switch failure" `Quick torus2qos_single_failure;
+       test_case "single link failure" `Quick torus2qos_link_failure;
+       test_case "double ring failure" `Quick torus2qos_double_ring_failure_fails ]);
+    ("fattree",
+     [ test_case "valid" `Quick fattree_valid;
+       test_case "shortest" `Quick fattree_shortest;
+       test_case "rejects other topologies" `Quick fattree_rejects_other_topologies ]) ]

@@ -1,0 +1,200 @@
+(* Tests for the flit-level simulator: delivery, conservation, credit
+   discipline, deadlock detection and throughput sanity. *)
+
+module Network = Nue_netgraph.Network
+module Table = Nue_routing.Table
+module Minhop = Nue_routing.Minhop
+module Sim = Nue_sim.Sim
+module Traffic = Nue_sim.Traffic
+module Nue = Nue_core.Nue
+module Prng = Nue_structures.Prng
+
+let test_case = Alcotest.test_case
+
+let two_terminals () =
+  (* Two terminals on one switch: a single message crosses two links. *)
+  let b = Network.Builder.create () in
+  let s = Network.Builder.add_switch b in
+  let t1 = Network.Builder.add_terminal b in
+  let t2 = Network.Builder.add_terminal b in
+  Network.Builder.connect b t1 s;
+  Network.Builder.connect b t2 s;
+  Network.Builder.build b
+
+let single_message_delivery () =
+  let net = two_terminals () in
+  let table = Minhop.route net in
+  let terms = Network.terminals net in
+  let out =
+    Sim.run table ~traffic:[ { Traffic.src = terms.(0); dst = terms.(1); bytes = 512 } ]
+  in
+  Alcotest.(check int) "one packet" 1 out.Sim.total_packets;
+  Alcotest.(check int) "delivered" 1 out.Sim.delivered_packets;
+  Alcotest.(check int) "bytes" 512 out.Sim.delivered_bytes;
+  Alcotest.(check bool) "no deadlock" false out.Sim.deadlock;
+  (* 8 flits over 2 hops with latency 1: the tail lands well under 30
+     cycles. *)
+  Alcotest.(check bool) "fast" true (out.Sim.cycles < 30)
+
+let message_split_into_mtu_packets () =
+  let net = two_terminals () in
+  let table = Minhop.route net in
+  let terms = Network.terminals net in
+  let out =
+    Sim.run table
+      ~traffic:[ { Traffic.src = terms.(0); dst = terms.(1); bytes = 5000 } ]
+  in
+  (* 5000 B over a 2048 B MTU = 3 packets. *)
+  Alcotest.(check int) "3 packets" 3 out.Sim.total_packets;
+  Alcotest.(check int) "all delivered" 3 out.Sim.delivered_packets;
+  Alcotest.(check int) "bytes conserved" 5000 out.Sim.delivered_bytes
+
+let all_to_all_completes () =
+  let t = Helpers.small_torus () in
+  let net = t.Nue_netgraph.Topology.net in
+  let table = Nue.route ~vcs:2 net in
+  let traffic = Traffic.all_to_all_shift net ~message_bytes:256 in
+  let out = Sim.run table ~traffic in
+  Alcotest.(check int) "all delivered" out.Sim.total_packets
+    out.Sim.delivered_packets;
+  Alcotest.(check bool) "no deadlock" false out.Sim.deadlock;
+  Alcotest.(check bool) "positive throughput" true (out.Sim.aggregate_gbs > 0.0)
+
+let link_rate_bound () =
+  (* A single sender cannot exceed one flit per cycle: aggregate <= one
+     link's rate. *)
+  let net = two_terminals () in
+  let table = Minhop.route net in
+  let terms = Network.terminals net in
+  let out =
+    Sim.run table
+      ~traffic:[ { Traffic.src = terms.(0); dst = terms.(1); bytes = 64 * 1024 } ]
+  in
+  Alcotest.(check bool) "bounded by link rate" true
+    (out.Sim.aggregate_gbs <= 4.0 +. 1e-6)
+
+let deadlock_detected_on_cyclic_routing () =
+  (* Clockwise ring routing with heavy traffic and tiny buffers: the
+     classic ring deadlock. The watchdog must fire. *)
+  let net = Helpers.ring ~terminals:1 4 in
+  let terms = Network.terminals net in
+  let nn = Network.num_nodes net in
+  let next_channel =
+    Array.map
+      (fun dest ->
+         let dw = Network.terminal_attachment net dest in
+         let nexts = Array.make nn (-1) in
+         for i = 0 to 3 do
+           if i = dw then
+             nexts.(i) <- Option.get (Network.find_channel net i dest)
+           else
+             nexts.(i) <-
+               Option.get (Network.find_channel net i ((i + 1) mod 4))
+         done;
+         Array.iter
+           (fun t ->
+              if t <> dest then nexts.(t) <- (Network.out_channels net t).(0))
+           terms;
+         nexts)
+      terms
+  in
+  let table =
+    Table.make ~net ~algorithm:"clockwise" ~dests:terms ~next_channel
+      ~vl:Table.All_zero ~num_vls:1 ()
+  in
+  Alcotest.(check bool) "routing is deadlock-prone" false
+    (Nue_routing.Verify.deadlock_free table);
+  let traffic = Traffic.all_to_all_shift net ~message_bytes:8192 in
+  let config =
+    { Sim.default_config with buffer_flits = 2; watchdog = 5_000 }
+  in
+  let out = Sim.run ~config table ~traffic in
+  Alcotest.(check bool) "deadlock detected" true out.Sim.deadlock;
+  Alcotest.(check bool) "not everything delivered" true
+    (out.Sim.delivered_packets < out.Sim.total_packets)
+
+let nue_survives_where_cyclic_deadlocks () =
+  (* Same network, same load, same buffers — Nue's tables drain. *)
+  let net = Helpers.ring ~terminals:1 4 in
+  let table = Nue.route ~vcs:1 net in
+  let traffic = Traffic.all_to_all_shift net ~message_bytes:8192 in
+  let config =
+    { Sim.default_config with buffer_flits = 2; watchdog = 5_000 }
+  in
+  let out = Sim.run ~config table ~traffic in
+  Alcotest.(check bool) "no deadlock" false out.Sim.deadlock;
+  Alcotest.(check int) "all delivered" out.Sim.total_packets
+    out.Sim.delivered_packets
+
+let traffic_all_to_all_counts () =
+  let net = (Helpers.small_torus ()).Nue_netgraph.Topology.net in
+  let t = Network.num_terminals net in
+  let traffic = Traffic.all_to_all_shift net ~message_bytes:128 in
+  Alcotest.(check int) "T(T-1) messages" (t * (t - 1)) (List.length traffic);
+  List.iter
+    (fun { Traffic.src; dst; _ } ->
+       if src = dst then Alcotest.fail "self message")
+    traffic
+
+let traffic_uniform_random_counts () =
+  let net = (Helpers.small_torus ()).Nue_netgraph.Topology.net in
+  let prng = Prng.create 4 in
+  let traffic =
+    Traffic.uniform_random prng net ~messages_per_terminal:5 ~message_bytes:64
+  in
+  Alcotest.(check int) "count" (5 * Network.num_terminals net)
+    (List.length traffic)
+
+let traffic_permutation_bijective () =
+  let net = (Helpers.small_torus ()).Nue_netgraph.Topology.net in
+  let prng = Prng.create 4 in
+  let traffic = Traffic.permutation prng net ~message_bytes:64 in
+  let seen_src = Hashtbl.create 64 in
+  List.iter
+    (fun { Traffic.src; dst; _ } ->
+       if src = dst then Alcotest.fail "fixed point";
+       if Hashtbl.mem seen_src src then Alcotest.fail "duplicate source";
+       Hashtbl.add seen_src src ())
+    traffic
+
+let rejects_non_terminal_endpoints () =
+  let net = Helpers.ring5 () in
+  let table = Minhop.route net in
+  Alcotest.(check bool) "switch endpoint rejected" true
+    (match
+       Sim.run table ~traffic:[ { Traffic.src = 0; dst = 1; bytes = 64 } ]
+     with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let more_vcs_do_not_hurt_much () =
+  (* Sanity on the Fig. 1/10 trend at miniature scale: Nue's simulated
+     all-to-all throughput at k=4 is at least ~60% of its k=1 value
+     (usually it is better; small instances are noisy). *)
+  let t = Helpers.small_torus () in
+  let net = t.Nue_netgraph.Topology.net in
+  let traffic = Traffic.all_to_all_shift net ~message_bytes:512 in
+  let run vcs =
+    let table = Nue.route ~vcs net in
+    (Sim.run table ~traffic).Sim.aggregate_gbs
+  in
+  let t1 = run 1 and t4 = run 4 in
+  Alcotest.(check bool) "k=4 not catastrophically worse" true
+    (t4 >= 0.6 *. t1);
+  Alcotest.(check bool) "both positive" true (t1 > 0.0 && t4 > 0.0)
+
+let suite =
+  [ ("traffic",
+     [ test_case "all-to-all counts" `Quick traffic_all_to_all_counts;
+       test_case "uniform random counts" `Quick traffic_uniform_random_counts;
+       test_case "permutation bijective" `Quick traffic_permutation_bijective ]);
+    ("sim",
+     [ test_case "single message" `Quick single_message_delivery;
+       test_case "MTU split" `Quick message_split_into_mtu_packets;
+       test_case "all-to-all completes" `Slow all_to_all_completes;
+       test_case "link rate bound" `Quick link_rate_bound;
+       test_case "deadlock detected" `Quick deadlock_detected_on_cyclic_routing;
+       test_case "nue survives same load" `Quick nue_survives_where_cyclic_deadlocks;
+       test_case "rejects non-terminal endpoints" `Quick
+         rejects_non_terminal_endpoints;
+       test_case "VC trend sanity" `Slow more_vcs_do_not_hurt_much ]) ]
