@@ -1,56 +1,53 @@
 (* Shared infrastructure for the experiment harness: uniform routing
-   runners, timing, and table printing. *)
+   runners (via the engine registry), timing, and table printing.
+
+   All routing goes through Nue_routing.Engine / Nue_pipeline.Experiment
+   so the bench and the nue_route CLI share one topology builder and one
+   fault-injection PRNG derivation and cannot drift. *)
 
 module Network = Nue_netgraph.Network
 module Topology = Nue_netgraph.Topology
 module Fault = Nue_netgraph.Fault
 module Table = Nue_routing.Table
 module Verify = Nue_routing.Verify
+module Engine = Nue_routing.Engine
+module Engine_error = Nue_routing.Engine_error
+module Experiment = Nue_pipeline.Experiment
 module Nue = Nue_core.Nue
 module Fi = Nue_metrics.Forwarding_index
 module Tm = Nue_metrics.Throughput_model
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let time = Experiment.time
 
-(* A routing attempt: the table (if the algorithm is applicable), its
-   wall-clock time and an explanation on failure. *)
+(* A routing attempt: the table (if the engine is applicable), its
+   wall-clock time and a structured explanation on failure. *)
 type attempt = {
   label : string;
-  table : (Table.t, string) result;
+  table : (Table.t, Engine_error.t) result;
   seconds : float;
 }
 
-let run_routing ?torus ?remap ~max_vls label net =
-  let torus_ctx () =
-    match (torus, remap) with
-    | Some t, Some r -> Ok (t, r)
-    | Some t, None -> Ok (t, Fault.identity t.Topology.net)
-    | None, _ -> Error "torus2qos: not a torus"
-  in
-  let compute () =
-    match label with
-    | "updown" -> Ok (Nue_routing.Updown.route net)
-    | "minhop" -> Ok (Nue_routing.Minhop.route net)
-    | "dfsssp" -> Nue_routing.Dfsssp.route ~max_vls net
-    | "lash" -> Nue_routing.Lash.route ~max_vls net
-    | "torus2qos" ->
-      (match torus_ctx () with
-       | Ok (t, r) -> Nue_routing.Torus2qos.route ~torus:t ~remap:r ()
-       | Error e -> Error e)
-    | _ ->
-      (match String.index_opt label '=' with
-       | Some i when String.sub label 0 i = "nue-k" || String.sub label 0 i = "nue" ->
-         let k = int_of_string (String.sub label (i + 1) (String.length label - i - 1)) in
-         Ok (Nue.route ~vcs:k net)
-       | _ -> Error (Printf.sprintf "unknown routing %S" label))
-  in
-  let table, seconds = time compute in
+(* Labels are engine names, with "nue=K" selecting Nue under a K-VC
+   budget (the bench sweeps k = 1..8); every other engine gets the
+   harness-wide [max_vls] budget. *)
+let engine_of_label ~max_vls label =
+  match String.index_opt label '=' with
+  | Some i ->
+    let name = String.sub label 0 i in
+    let name = if name = "nue-k" then "nue" else name in
+    let k = int_of_string (String.sub label (i + 1) (String.length label - i - 1)) in
+    (name, k)
+  | None -> (label, max_vls)
+
+let run_routing ?torus ?remap ?tree ~max_vls label net =
+  let engine, vcs = engine_of_label ~max_vls label in
+  let spec = Engine.spec ~vcs ?torus ?remap ?tree net in
+  let table, seconds = time (fun () -> Engine.route engine spec) in
   { label; table; seconds }
 
 let nue_labels k_max = List.init k_max (fun i -> Printf.sprintf "nue=%d" (i + 1))
+
+let error_string = Engine_error.to_string
 
 (* Fixed-width row printing. *)
 let print_header cols =

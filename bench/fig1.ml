@@ -21,9 +21,19 @@ let run ~full ~sim () =
   Common.section "FIG1A/FIG1B: 4x4x3 torus, 1 faulty switch, 4-VC budget";
   let terminals_per_switch = if full then 4 else 2 in
   let message_bytes = if full then 2048 else 1024 in
-  let torus = Topology.torus3d ~dims:(4, 4, 3) ~terminals_per_switch () in
-  let remap = Fault.remove_switches torus.Topology.net [ 5 ] in
-  let net = remap.Fault.net in
+  (* One shared builder with the CLI: same topology construction, same
+     fault-injection semantics (Experiment, satellite of ISSUE 2). *)
+  let built =
+    Common.Experiment.build
+      (Common.Experiment.setup
+         ~faults:(Common.Experiment.Kill_switches [ 5 ])
+         (Common.Experiment.Torus3d
+            { dims = (4, 4, 3); terminals = terminals_per_switch;
+              redundancy = 1 }))
+  in
+  let torus = Option.get built.Common.Experiment.torus in
+  let remap = built.Common.Experiment.remap in
+  let net = built.Common.Experiment.net in
   Common.describe net;
   if not full then
     print_endline
@@ -44,7 +54,7 @@ let run ~full ~sim () =
          Printf.printf "%s%s(%s)\n%!"
            (Common.cell 11 label)
            (Common.cell 12 "no")
-           e
+           (Common.error_string e)
        | Ok table ->
          let vls = Verify.vls_used table in
          let model = Tm.all_to_all table in
@@ -72,7 +82,7 @@ let run ~full ~sim () =
   Printf.printf "  lash       %d\n" (Nue_routing.Lash.required_vcs net);
   Printf.printf "  dfsssp     %d  (exceeds the 4-VC limit -> inapplicable)\n"
     (Nue_routing.Dfsssp.required_vcs net);
-  (match Nue_routing.Torus2qos.route ~torus ~remap () with
+  (match Nue_routing.Torus2qos.route_structured ~torus ~remap () with
    | Ok t -> Printf.printf "  torus2qos  %d\n" (Verify.vls_used t)
    | Error _ -> Printf.printf "  torus2qos  FAIL\n");
   Printf.printf "  nue=k      k (by construction, any k >= 1)\n\n";

@@ -4,59 +4,53 @@
 
    The default run uses reduced-size instances of each topology family
    with the analytic saturation model (plus flit-level simulation with
-   --sim); --full builds the exact Table 1 configurations. *)
+   --sim); --full builds the exact Table 1 configurations. Instances are
+   plain Experiment setups, so topology construction and engine dispatch
+   are shared with the CLI and the other figures. *)
 
 module Network = Nue_netgraph.Network
-module Topology = Nue_netgraph.Topology
-module Fault = Nue_netgraph.Fault
 module Table = Nue_routing.Table
+module Engine_error = Nue_routing.Engine_error
+module Experiment = Nue_pipeline.Experiment
 module Tm = Nue_metrics.Throughput_model
 module Sim = Nue_sim.Sim
 module Traffic = Nue_sim.Traffic
-module Prng = Nue_structures.Prng
-
-type instance = {
-  name : string;
-  net : Network.t;
-  torus : Topology.torus option;
-  tree : (int * int) option; (* (k, n) for fat-tree routing *)
-}
 
 let instances ~full =
   if full then
-    [ { name = "random";
-        net = Topology.random (Prng.create 42) ~switches:125
-            ~inter_switch_links:1000 ~terminals_per_switch:8 ();
-        torus = None; tree = None };
-      (let t = Topology.torus3d ~dims:(6, 5, 5) ~terminals_per_switch:7 ~redundancy:4 () in
-       { name = "torus-6x5x5"; net = t.Topology.net; torus = Some t; tree = None });
-      { name = "10-ary-3-tree";
-        net = Topology.kary_ntree ~k:10 ~n:3 ~terminals_per_leaf:11 ();
-        torus = None; tree = Some (10, 3) };
-      { name = "kautz";
-        net = Topology.kautz ~degree:5 ~diameter:3 ~terminals_per_switch:7 ~redundancy:2 ();
-        torus = None; tree = None };
-      { name = "dragonfly";
-        net = Topology.dragonfly ~a:12 ~p:6 ~h:6 ~g:15 ();
-        torus = None; tree = None };
-      { name = "cascade"; net = Topology.cascade (); torus = None; tree = None };
-      { name = "tsubame2.5"; net = Topology.tsubame25 (); torus = None; tree = None } ]
+    [ ("random",
+       Experiment.setup ~seed:42
+         (Experiment.Random { switches = 125; links = 1000; terminals = 8 }));
+      ("torus-6x5x5",
+       Experiment.setup
+         (Experiment.Torus3d
+            { dims = (6, 5, 5); terminals = 7; redundancy = 4 }));
+      ("10-ary-3-tree",
+       Experiment.setup (Experiment.Kary_ntree { k = 10; n = 3; terminals = 11 }));
+      ("kautz",
+       Experiment.setup
+         (Experiment.Kautz
+            { degree = 5; diameter = 3; terminals = 7; redundancy = 2 }));
+      ("dragonfly",
+       Experiment.setup (Experiment.Dragonfly { a = 12; p = 6; h = 6; g = 15 }));
+      ("cascade", Experiment.setup Experiment.Cascade);
+      ("tsubame2.5", Experiment.setup Experiment.Tsubame25) ]
   else
-    [ { name = "random";
-        net = Topology.random (Prng.create 42) ~switches:48
-            ~inter_switch_links:250 ~terminals_per_switch:4 ();
-        torus = None; tree = None };
-      (let t = Topology.torus3d ~dims:(4, 4, 4) ~terminals_per_switch:3 ~redundancy:2 () in
-       { name = "torus-4x4x4"; net = t.Topology.net; torus = Some t; tree = None });
-      { name = "4-ary-3-tree";
-        net = Topology.kary_ntree ~k:4 ~n:3 ~terminals_per_leaf:4 ();
-        torus = None; tree = Some (4, 3) };
-      { name = "kautz";
-        net = Topology.kautz ~degree:3 ~diameter:3 ~terminals_per_switch:4 ~redundancy:2 ();
-        torus = None; tree = None };
-      { name = "dragonfly";
-        net = Topology.dragonfly ~a:6 ~p:3 ~h:3 ~g:7 ();
-        torus = None; tree = None } ]
+    [ ("random",
+       Experiment.setup ~seed:42
+         (Experiment.Random { switches = 48; links = 250; terminals = 4 }));
+      ("torus-4x4x4",
+       Experiment.setup
+         (Experiment.Torus3d
+            { dims = (4, 4, 4); terminals = 3; redundancy = 2 }));
+      ("4-ary-3-tree",
+       Experiment.setup (Experiment.Kary_ntree { k = 4; n = 3; terminals = 4 }));
+      ("kautz",
+       Experiment.setup
+         (Experiment.Kautz
+            { degree = 3; diameter = 3; terminals = 4; redundancy = 2 }));
+      ("dragonfly",
+       Experiment.setup (Experiment.Dragonfly { a = 6; p = 3; h = 3; g = 7 })) ]
 
 let run ~full ~sim () =
   Common.section "FIG10: all-to-all throughput across topologies";
@@ -66,11 +60,15 @@ let run ~full ~sim () =
   let base = [ "updown"; "fattree"; "torus2qos"; "lash"; "dfsssp" ] in
   let labels = base @ Common.nue_labels 8 in
   List.iter
-    (fun inst ->
-       Common.describe inst.net;
+    (fun (name, setup) ->
+       ignore name;
+       let built = Experiment.build setup in
+       let net = built.Experiment.net in
+       Common.describe net;
        let traffic =
          if sim then
-           Some (Traffic.all_to_all_shift inst.net ~message_bytes:(if full then 2048 else 512))
+           Some (Traffic.all_to_all_shift net
+                   ~message_bytes:(if full then 2048 else 512))
          else None
        in
        Common.print_header
@@ -79,24 +77,17 @@ let run ~full ~sim () =
        List.iter
          (fun label ->
             let attempt =
-              match (label, inst.tree) with
-              | "fattree", Some (k, n) ->
-                let table, seconds =
-                  Common.time (fun () -> Nue_routing.Fattree.route ~k ~n inst.net)
-                in
-                { Common.label; table; seconds }
-              | "fattree", None ->
-                { Common.label; table = Error "not a fat tree"; seconds = 0.0 }
-              | _ ->
-                Common.run_routing ?torus:inst.torus ~max_vls:8 label inst.net
+              Common.run_routing ?torus:built.Experiment.torus
+                ~remap:built.Experiment.remap ?tree:built.Experiment.tree
+                ~max_vls:8 label net
             in
             match attempt.Common.table with
+            | Error (Engine_error.Topology_mismatch _) ->
+              () (* silently skip impossible topology/routing combos,
+                    as the paper does *)
             | Error e ->
-              if label = "fattree" || label = "torus2qos" then ()
-                (* silently skip impossible topology/routing combos,
-                   as the paper does *)
-              else
-                Printf.printf "%s(inapplicable: %s)\n%!" (Common.cell 10 label) e
+              Printf.printf "%s(inapplicable: %s)\n%!" (Common.cell 10 label)
+                (Common.error_string e)
             | Ok table ->
               let model = Tm.all_to_all table in
               let sim_gbs =

@@ -32,15 +32,21 @@ let run ~full () =
   Common.print_header
     ([ (10, "torus"); (10, "terminals") ]
      @ List.map (fun l -> (12, l ^ " s")) labels);
-  let prng = Prng.create 11 in
-  List.iter
-    (fun (a, b, c) ->
-       let torus = Topology.torus3d ~dims:(a, b, c) ~terminals_per_switch:4 () in
-       let remap =
-         Fault.random_link_failures (Prng.split prng) torus.Topology.net
-           ~fraction:0.01
+  let module Experiment = Common.Experiment in
+  List.iteri
+    (fun i (a, b, c) ->
+       (* Per-instance seed; fault selection uses the same seed-derived
+          stream as the CLI's --link-failures (Experiment.build). *)
+       let built =
+         Experiment.build
+           (Experiment.setup ~seed:(11 + i)
+              ~faults:(Experiment.Link_failures 0.01)
+              (Experiment.Torus3d
+                 { dims = (a, b, c); terminals = 4; redundancy = 1 }))
        in
-       let net = remap.Fault.net in
+       let torus = Option.get built.Experiment.torus in
+       let remap = built.Experiment.remap in
+       let net = built.Experiment.net in
        let cells =
          List.map
            (fun label ->

@@ -1,23 +1,32 @@
 (* nue_route: command-line front end, mirroring how OpenSM operators
    interact with routing engines.
 
+   Topology construction, fault injection, routing, verification and
+   metrics all go through the shared experiment pipeline
+   (Nue_pipeline.Experiment); algorithms are dispatched by name through
+   the engine registry (Nue_routing.Engine), so every registered engine
+   is automatically available behind --algorithm.
+
    Subcommands:
      route    generate a topology, route it, verify, print statistics
      sim      additionally run a flit-level all-to-all simulation
      dump     print the linear forwarding table of one switch
+     export   write network/DOT/LFT files
+     compare  run every registered engine side by side
 
    Example:
      nue_route route --topology torus --dims 4x4x3 --terminals 4 \
-       --algorithm nue --vcs 2 --kill-switches 5 *)
+       --algorithm nue --vcs 2 --kill-switches 5 --format json *)
 
 open Cmdliner
 
 module Network = Nue_netgraph.Network
-module Topology = Nue_netgraph.Topology
-module Fault = Nue_netgraph.Fault
+module Engine = Nue_routing.Engine
+module Engine_error = Nue_routing.Engine_error
 module Table = Nue_routing.Table
-module Verify = Nue_routing.Verify
-module Prng = Nue_structures.Prng
+module Experiment = Nue_pipeline.Experiment
+module Json = Nue_pipeline.Json
+module Sim = Nue_sim.Sim
 
 (* {1 Topology construction} *)
 
@@ -29,109 +38,88 @@ let parse_dims s =
 let parse_dims_nd s =
   Array.of_list (List.map int_of_string (String.split_on_char 'x' s))
 
-type built = {
-  net : Network.t;
-  torus : Topology.torus option;
-  tree : (int * int) option;
-}
-
 let build_topology ~topology ~dims ~terminals ~switches ~links ~seed
     ~kill_switches ~link_failures ~file =
-  let base =
-    match topology with
-    | _ when file <> "" ->
-      { net = Nue_netgraph.Serialize.read_file file; torus = None; tree = None }
-    | "mesh" ->
-      { net = (Topology.mesh ~dims:(parse_dims_nd dims) ~terminals_per_switch:terminals ()).Topology.gnet;
-        torus = None; tree = None }
-    | "torusnd" ->
-      { net = (Topology.torus_nd ~dims:(parse_dims_nd dims) ~terminals_per_switch:terminals ()).Topology.gnet;
-        torus = None; tree = None }
-    | "hypercube" ->
-      { net = Topology.hypercube ~dim:switches ~terminals_per_switch:terminals ();
-        torus = None; tree = None }
-    | "full" ->
-      { net = Topology.fully_connected ~switches ~terminals_per_switch:terminals ();
-        torus = None; tree = None }
-    | "torus" ->
-      let t = Topology.torus3d ~dims:(parse_dims dims) ~terminals_per_switch:terminals () in
-      { net = t.Topology.net; torus = Some t; tree = None }
-    | "random" ->
-      { net =
-          Topology.random (Prng.create seed) ~switches
-            ~inter_switch_links:links ~terminals_per_switch:terminals ();
-        torus = None; tree = None }
-    | "fattree" ->
-      let k, n = (switches, 3) in
-      { net = Topology.kary_ntree ~k ~n:3 ~terminals_per_leaf:terminals ();
-        torus = None; tree = Some (k, n) }
-    | "dragonfly" ->
-      { net = Topology.dragonfly ~a:switches ~p:terminals ~h:(switches / 2)
-            ~g:(switches + 1) ();
-        torus = None; tree = None }
-    | "kautz" ->
-      { net = Topology.kautz ~degree:switches ~diameter:3
-            ~terminals_per_switch:terminals ();
-        torus = None; tree = None }
-    | "cascade" -> { net = Topology.cascade (); torus = None; tree = None }
-    | "tsubame" -> { net = Topology.tsubame25 (); torus = None; tree = None }
-    | other -> failwith (Printf.sprintf "unknown topology %S" other)
+  let topo =
+    if file <> "" then Experiment.From_file file
+    else
+      match topology with
+      | "mesh" -> Experiment.Mesh { dims = parse_dims_nd dims; terminals }
+      | "torusnd" ->
+        Experiment.Torus_nd { dims = parse_dims_nd dims; terminals }
+      | "hypercube" -> Experiment.Hypercube { dim = switches; terminals }
+      | "full" -> Experiment.Fully_connected { switches; terminals }
+      | "torus" ->
+        Experiment.Torus3d
+          { dims = parse_dims dims; terminals; redundancy = 1 }
+      | "random" -> Experiment.Random { switches; links; terminals }
+      | "fattree" -> Experiment.Kary_ntree { k = switches; n = 3; terminals }
+      | "dragonfly" ->
+        Experiment.Dragonfly
+          { a = switches; p = terminals; h = switches / 2; g = switches + 1 }
+      | "kautz" ->
+        Experiment.Kautz
+          { degree = switches; diameter = 3; terminals; redundancy = 1 }
+      | "cascade" -> Experiment.Cascade
+      | "tsubame" -> Experiment.Tsubame25
+      | other -> failwith (Printf.sprintf "unknown topology %S" other)
   in
-  let remap =
-    if kill_switches <> [] then Fault.remove_switches base.net kill_switches
-    else if link_failures > 0.0 then
-      Fault.random_link_failures (Prng.create (seed + 1)) base.net
-        ~fraction:link_failures
-    else Fault.identity base.net
+  let faults =
+    if kill_switches <> [] then Experiment.Kill_switches kill_switches
+    else if link_failures > 0.0 then Experiment.Link_failures link_failures
+    else Experiment.No_faults
   in
-  (base, remap)
+  Experiment.build (Experiment.setup ~faults ~seed topo)
 
-let route_table ~algorithm ~vcs (base, remap) =
-  let net = remap.Fault.net in
-  match algorithm with
-  | "nue" -> Ok (Nue_core.Nue.route ~vcs net)
-  | "minhop" -> Ok (Nue_routing.Minhop.route net)
-  | "updown" -> Ok (Nue_routing.Updown.route net)
-  | "dfsssp" -> Nue_routing.Dfsssp.route ~max_vls:vcs net
-  | "lash" -> Nue_routing.Lash.route ~max_vls:vcs net
-  | "torus2qos" ->
-    (match base.torus with
-     | Some torus -> Nue_routing.Torus2qos.route ~torus ~remap ()
-     | None -> Error "torus2qos requires --topology torus")
-  | "fattree" ->
-    (match base.tree with
-     | Some (k, n) -> Nue_routing.Fattree.route ~k ~n net
-     | None -> Error "fattree requires --topology fattree")
-  | "static-cdg" ->
-    let table, unreachable = Nue_routing.Static_cdg.route net in
-    Printf.printf "static-cdg: %d unreachable pairs\n" unreachable;
-    Ok table
-  | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+(* {1 Reporting} *)
 
-let report_table net table =
-  Format.printf "%a@." Network.pp net;
-  Printf.printf "algorithm: %s, %d destinations, %d VLs\n"
-    table.Table.algorithm
-    (Array.length table.Table.dests)
-    table.Table.num_vls;
-  List.iter
-    (fun (k, v) -> Printf.printf "  %-16s %.0f\n" k v)
-    table.Table.info;
-  let r = Verify.check table in
-  Printf.printf "connected:      %b\n" r.Verify.connected;
-  Printf.printf "cycle-free:     %b\n" r.Verify.cycle_free;
-  Printf.printf "deadlock-free:  %b\n" r.Verify.deadlock_free;
-  let g = Nue_metrics.Forwarding_index.summarize table in
-  Printf.printf "edge forwarding index: min %.0f avg %.1f max %.0f sd %.1f\n"
-    g.Nue_metrics.Forwarding_index.min g.Nue_metrics.Forwarding_index.avg
-    g.Nue_metrics.Forwarding_index.max g.Nue_metrics.Forwarding_index.sd;
-  let p = Nue_metrics.Pathstats.compute table in
-  Printf.printf "paths: max %d hops, avg %.2f hops\n"
-    p.Nue_metrics.Pathstats.max_hops p.Nue_metrics.Pathstats.avg_hops;
-  let t = Nue_metrics.Throughput_model.all_to_all table in
-  Printf.printf "all-to-all saturation model: %.1f GB/s aggregate\n"
-    t.Nue_metrics.Throughput_model.aggregate_gbs;
-  if not (r.Verify.connected && r.Verify.deadlock_free) then exit 2
+let report_text built (o : Experiment.outcome) =
+  match (o.Experiment.table, o.Experiment.metrics) with
+  | Error e, _ ->
+    Printf.eprintf "routing failed: %s\n" (Engine_error.to_string e);
+    exit 1
+  | Ok table, Some m ->
+    Format.printf "%a@." Network.pp built.Experiment.net;
+    Printf.printf "algorithm: %s, %d destinations, %d VLs\n"
+      table.Table.algorithm
+      (Array.length table.Table.dests)
+      table.Table.num_vls;
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-16s %.0f\n" k v)
+      table.Table.info;
+    let r = m.Experiment.verify in
+    let module V = Nue_routing.Verify in
+    Printf.printf "connected:      %b\n" r.V.connected;
+    Printf.printf "cycle-free:     %b\n" r.V.cycle_free;
+    Printf.printf "deadlock-free:  %b\n" r.V.deadlock_free;
+    let module Fi = Nue_metrics.Forwarding_index in
+    Printf.printf "edge forwarding index: min %.0f avg %.1f max %.0f sd %.1f\n"
+      m.Experiment.forwarding.Fi.min m.Experiment.forwarding.Fi.avg
+      m.Experiment.forwarding.Fi.max m.Experiment.forwarding.Fi.sd;
+    let module Ps = Nue_metrics.Pathstats in
+    Printf.printf "paths: max %d hops, avg %.2f hops\n"
+      m.Experiment.paths.Ps.max_hops m.Experiment.paths.Ps.avg_hops;
+    let module Tm = Nue_metrics.Throughput_model in
+    Printf.printf "all-to-all saturation model: %.1f GB/s aggregate\n"
+      m.Experiment.throughput.Tm.aggregate_gbs;
+    (table, r)
+  | Ok _, None -> assert false
+
+let json_payload built (o : Experiment.outcome) extra =
+  Json.Obj
+    ([ ("network", Experiment.network_to_json built.Experiment.net);
+       ("outcome", Experiment.outcome_to_json o) ]
+     @ extra)
+
+let exit_code_of (o : Experiment.outcome) =
+  match (o.Experiment.table, o.Experiment.metrics) with
+  | Error _, _ -> 1
+  | Ok _, Some m ->
+    let module V = Nue_routing.Verify in
+    if m.Experiment.verify.V.connected && m.Experiment.verify.V.deadlock_free
+    then 0
+    else 2
+  | Ok _, None -> 0
 
 (* {1 Common flags} *)
 
@@ -169,7 +157,8 @@ let seed_t =
 let algorithm_t =
   Arg.(value & opt string "nue"
        & info [ "algorithm"; "a" ] ~docv:"ALGO"
-           ~doc:"nue, minhop, updown, dfsssp, lash, torus2qos, fattree.")
+           ~doc:"A registered routing engine (see `compare'): nue, minhop, \
+                 updown, sssp, dfsssp, lash, torus2qos, fattree, static-cdg.")
 
 let vcs_t =
   Arg.(value & opt int 4
@@ -185,6 +174,14 @@ let linkfail_t =
        & info [ "link-failures" ] ~docv:"FRACTION"
            ~doc:"Fraction of inter-switch links to fail randomly.")
 
+let format_t =
+  Arg.(value
+       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: $(b,text) (human-readable) or $(b,json) (one \
+                 machine-readable object with the verify report, counters \
+                 and metrics).")
+
 let build_t =
   let make topology dims terminals switches links seed kill linkfail file =
     build_topology ~topology ~dims ~terminals ~switches ~links ~seed
@@ -196,50 +193,63 @@ let build_t =
 (* {1 Subcommands} *)
 
 let route_cmd =
-  let run built algorithm vcs =
-    match route_table ~algorithm ~vcs built with
-    | Ok table -> report_table (snd built).Fault.net table
-    | Error e ->
-      Printf.eprintf "routing failed: %s\n" e;
-      exit 1
+  let run built algorithm vcs format =
+    let o = Experiment.run ~vcs ~engine:algorithm built in
+    match format with
+    | `Json ->
+      print_endline (Json.to_string_pretty (json_payload built o []));
+      exit (exit_code_of o)
+    | _ ->
+      let _ = report_text built o in
+      exit (exit_code_of o)
   in
   Cmd.v (Cmd.info "route" ~doc:"Route a topology and verify the result")
-    Term.(const run $ build_t $ algorithm_t $ vcs_t)
+    Term.(const run $ build_t $ algorithm_t $ vcs_t $ format_t)
 
 let sim_cmd =
-  let run built algorithm vcs message_bytes =
-    match route_table ~algorithm ~vcs built with
-    | Error e ->
-      Printf.eprintf "routing failed: %s\n" e;
+  let run built algorithm vcs message_bytes format =
+    let o = Experiment.run ~vcs ~engine:algorithm built in
+    match (o.Experiment.table, format) with
+    | Error e, `Json ->
+      print_endline (Json.to_string_pretty (json_payload built o []));
+      ignore e;
       exit 1
-    | Ok table ->
-      let net = (snd built).Fault.net in
-      report_table net table;
-      let traffic = Nue_sim.Traffic.all_to_all_shift net ~message_bytes in
-      let out = Nue_sim.Sim.run table ~traffic in
-      Printf.printf
-        "flit sim: %d/%d packets, %d cycles, deadlock=%b, %.2f GB/s, \
-         avg latency %.0f cycles\n"
-        out.Nue_sim.Sim.delivered_packets out.Nue_sim.Sim.total_packets
-        out.Nue_sim.Sim.cycles out.Nue_sim.Sim.deadlock
-        out.Nue_sim.Sim.aggregate_gbs out.Nue_sim.Sim.avg_packet_latency;
-      if out.Nue_sim.Sim.deadlock then exit 3
+    | Error e, _ ->
+      Printf.eprintf "routing failed: %s\n" (Engine_error.to_string e);
+      exit 1
+    | Ok table, _ ->
+      let out = Experiment.simulate ~message_bytes table in
+      (match format with
+       | `Json ->
+         print_endline
+           (Json.to_string_pretty
+              (json_payload built o [ ("sim", Experiment.sim_to_json out) ]))
+       | _ ->
+         let _ = report_text built o in
+         Printf.printf
+           "flit sim: %d/%d packets, %d cycles, deadlock=%b, %.2f GB/s, \
+            avg latency %.0f cycles\n"
+           out.Sim.delivered_packets out.Sim.total_packets
+           out.Sim.cycles out.Sim.deadlock
+           out.Sim.aggregate_gbs out.Sim.avg_packet_latency);
+      if out.Sim.deadlock then exit 3;
+      exit (exit_code_of o)
   in
   let bytes_t =
     Arg.(value & opt int 2048
          & info [ "message-bytes" ] ~docv:"B" ~doc:"All-to-all message size.")
   in
   Cmd.v (Cmd.info "sim" ~doc:"Route and run a flit-level all-to-all simulation")
-    Term.(const run $ build_t $ algorithm_t $ vcs_t $ bytes_t)
+    Term.(const run $ build_t $ algorithm_t $ vcs_t $ bytes_t $ format_t)
 
 let dump_cmd =
   let run built algorithm vcs switch =
-    match route_table ~algorithm ~vcs built with
+    match Engine.route algorithm (Experiment.spec ~vcs built) with
     | Error e ->
-      Printf.eprintf "routing failed: %s\n" e;
+      Printf.eprintf "routing failed: %s\n" (Engine_error.to_string e);
       exit 1
     | Ok table ->
-      let net = (snd built).Fault.net in
+      let net = built.Experiment.net in
       if switch < 0 || switch >= Network.num_nodes net
          || not (Network.is_switch net switch)
       then begin
@@ -264,7 +274,7 @@ let dump_cmd =
 
 let export_cmd =
   let run built out dot lft algorithm vcs =
-    let net = (snd built).Fault.net in
+    let net = built.Experiment.net in
     if out <> "" then begin
       Nue_netgraph.Serialize.write_file out net;
       Printf.printf "wrote %s\n" out
@@ -276,9 +286,9 @@ let export_cmd =
       Printf.printf "wrote %s\n" dot
     end;
     if lft <> "" then begin
-      match route_table ~algorithm ~vcs built with
+      match Engine.route algorithm (Experiment.spec ~vcs built) with
       | Error e ->
-        Printf.eprintf "routing failed: %s\n" e;
+        Printf.eprintf "routing failed: %s\n" (Engine_error.to_string e);
         exit 1
       | Ok table ->
         let oc = open_out lft in
@@ -305,44 +315,40 @@ let export_cmd =
 
 let compare_cmd =
   let run built vcs =
-    let net = (snd built).Fault.net in
-    Format.printf "%a@.@." Network.pp net;
+    Format.printf "%a@.@." Network.pp built.Experiment.net;
     Printf.printf "%-11s %-9s %-10s %-10s %-9s %-12s %-8s\n" "routing"
       "VLs" "gamma_max" "max_hops" "avg_hops" "model GB/s" "time s";
-    let algorithms =
-      [ "updown"; "minhop"; "lash"; "dfsssp"; "torus2qos"; "fattree"; "nue" ]
-    in
     List.iter
-      (fun algorithm ->
-         let t0 = Unix.gettimeofday () in
-         match route_table ~algorithm ~vcs built with
-         | Error e ->
-           if algorithm <> "torus2qos" && algorithm <> "fattree" then
-             Printf.printf "%-11s (%s)\n" algorithm e
-           else if String.length e < 30 then
-             Printf.printf "%-11s (%s)\n" algorithm e
-         | Ok table ->
-           let dt = Unix.gettimeofday () -. t0 in
-           let r = Verify.check table in
+      (fun (o : Experiment.outcome) ->
+         match (o.Experiment.table, o.Experiment.metrics) with
+         | Error (Engine_error.Topology_mismatch _), _ ->
+           () (* silently skip engine/topology mismatches, as the paper does *)
+         | Error e, _ ->
+           Printf.printf "%-11s (%s)\n" o.Experiment.engine
+             (Engine_error.to_string e)
+         | Ok _, Some m ->
+           let module V = Nue_routing.Verify in
+           let module Fi = Nue_metrics.Forwarding_index in
+           let module Ps = Nue_metrics.Pathstats in
+           let module Tm = Nue_metrics.Throughput_model in
            let validity =
-             if r.Verify.connected && r.Verify.deadlock_free then ""
+             if m.Experiment.verify.V.connected
+                && m.Experiment.verify.V.deadlock_free
+             then ""
              else "  INVALID!"
            in
-           let g = Nue_metrics.Forwarding_index.summarize table in
-           let p = Nue_metrics.Pathstats.compute table in
-           let tm = Nue_metrics.Throughput_model.all_to_all table in
            Printf.printf "%-11s %-9d %-10.0f %-10d %-9.2f %-12.1f %-8.2f%s\n"
-             algorithm
-             (Verify.vls_used table)
-             g.Nue_metrics.Forwarding_index.max
-             p.Nue_metrics.Pathstats.max_hops
-             p.Nue_metrics.Pathstats.avg_hops
-             tm.Nue_metrics.Throughput_model.aggregate_gbs dt validity)
-      algorithms
+             o.Experiment.engine m.Experiment.vls_used
+             m.Experiment.forwarding.Fi.max m.Experiment.paths.Ps.max_hops
+             m.Experiment.paths.Ps.avg_hops
+             m.Experiment.throughput.Tm.aggregate_gbs o.Experiment.seconds
+             validity
+         | Ok _, None -> ())
+      (Experiment.run_all ~vcs built)
   in
   Cmd.v
     (Cmd.info "compare"
-       ~doc:"Run every applicable routing engine and compare quality")
+       ~doc:"Run every registered routing engine and compare quality")
     Term.(const run $ build_t $ vcs_t)
 
 let () =

@@ -4,18 +4,26 @@
    routing every surviving configuration deadlock-free within the same
    VC budget.
 
+   Each degraded configuration is one experiment-pipeline setup (same
+   torus, one more dead switch); both routings are engine-registry
+   lookups against the same built network.
+
    Run with: dune exec examples/fault_tolerant_torus.exe *)
 
 open Nue_netgraph
-module Nue = Nue_core.Nue
+module Experiment = Nue_pipeline.Experiment
 module Verify = Nue_routing.Verify
 module Tm = Nue_metrics.Throughput_model
 module Prng = Nue_structures.Prng
 
+let topology =
+  Experiment.Torus3d { dims = (4, 4, 3); terminals = 2; redundancy = 1 }
+
 let () =
-  let torus = Topology.torus3d ~dims:(4, 4, 3) ~terminals_per_switch:2 () in
+  (* Pick the death order once, on the intact torus. *)
+  let intact = Experiment.build (Experiment.setup topology) in
+  let switches = Array.copy (Network.switches intact.Experiment.net) in
   let prng = Prng.create 2024 in
-  let switches = Array.copy (Network.switches torus.Topology.net) in
   Prng.shuffle prng switches;
   Printf.printf "4x4x3 torus, killing switches one by one (4-VC budget)\n\n";
   Printf.printf "%-8s %-12s %-22s %-22s\n" "faults" "terminals"
@@ -23,25 +31,29 @@ let () =
   (try
      for faults = 0 to 6 do
        let dead = Array.to_list (Array.sub switches 0 faults) in
-       match Fault.remove_switches torus.Topology.net dead with
+       match
+         Experiment.build
+           (Experiment.setup ~faults:(Experiment.Kill_switches dead) topology)
+       with
        | exception Invalid_argument _ ->
          Printf.printf "%-8d network disconnected; stopping\n" faults;
          raise Exit
-       | remap ->
-         let net = remap.Fault.net in
+       | built ->
          let t2q =
-           match Nue_routing.Torus2qos.route ~torus ~remap () with
-           | Ok table ->
-             assert (Verify.deadlock_free table);
-             Printf.sprintf "%.1f" (Tm.all_to_all table).Tm.aggregate_gbs
-           | Error _ -> "INAPPLICABLE"
+           match Experiment.run ~vcs:4 ~engine:"torus2qos" built with
+           | { Experiment.table = Error _; _ } -> "INAPPLICABLE"
+           | { Experiment.table = Ok _; metrics = Some m; _ } ->
+             assert (m.Experiment.verify.Verify.deadlock_free);
+             Printf.sprintf "%.1f" m.Experiment.throughput.Tm.aggregate_gbs
+           | _ -> assert false
          in
-         let nue_table = Nue.route ~vcs:4 net in
-         assert (Verify.deadlock_free nue_table);
-         assert (Verify.connected nue_table);
-         let nue = (Tm.all_to_all nue_table).Tm.aggregate_gbs in
+         let nue = Experiment.run ~vcs:4 ~engine:"nue" built in
+         let m = Option.get nue.Experiment.metrics in
+         assert (m.Experiment.verify.Verify.deadlock_free);
+         assert (m.Experiment.verify.Verify.connected);
          Printf.printf "%-8d %-12d %-22s %-22.1f\n" faults
-           (Network.num_terminals net) t2q nue
+           (Network.num_terminals built.Experiment.net)
+           t2q m.Experiment.throughput.Tm.aggregate_gbs
      done
    with Exit -> ());
   print_newline ();

@@ -3,41 +3,35 @@
    other topology-agnostic layered routing supports), plus a faulty tile
    link — the fault-tolerant NoC scenario from the paper's conclusion.
 
+   The mesh, the broken links and the k = 1 Nue routing all come from
+   the shared experiment pipeline; only the NoC-specific flit-level
+   configuration is local.
+
    Run with: dune exec examples/noc_mesh.exe *)
 
 open Nue_netgraph
-module Nue = Nue_core.Nue
+module Experiment = Nue_pipeline.Experiment
 module Verify = Nue_routing.Verify
 module Sim = Nue_sim.Sim
 module Traffic = Nue_sim.Traffic
 module Prng = Nue_structures.Prng
 
-let mesh ~w ~h =
-  let b = Network.Builder.create ~name:(Printf.sprintf "mesh-%dx%d" w h) () in
-  let sw = Array.init w (fun _ -> Array.init h (fun _ -> Network.Builder.add_switch b)) in
-  for x = 0 to w - 1 do
-    for y = 0 to h - 1 do
-      if x + 1 < w then Network.Builder.connect b sw.(x).(y) sw.(x + 1).(y);
-      if y + 1 < h then Network.Builder.connect b sw.(x).(y) sw.(x).(y + 1)
-    done
-  done;
-  (* One processing element (terminal) per tile. *)
-  Array.iter
-    (Array.iter (fun s ->
-         let t = Network.Builder.add_terminal b in
-         Network.Builder.connect b t s))
-    sw;
-  Network.Builder.build b
-
 let () =
-  let net = mesh ~w:8 ~h:8 in
-  (* Break two tile-to-tile links: the mesh becomes irregular, so
-     dimension-order routing no longer applies. *)
-  let remap = Fault.remove_links net [ (3, 11); (27, 28) ] in
-  let net = remap.Fault.net in
+  (* One processing element (terminal) per tile; break two tile-to-tile
+     links so the mesh becomes irregular and dimension-order routing no
+     longer applies. *)
+  let built =
+    Experiment.build
+      (Experiment.setup
+         ~faults:(Experiment.Cut_links [ (3, 11); (27, 28) ])
+         (Experiment.Mesh { dims = [| 8; 8 |]; terminals = 1 }))
+  in
+  let net = built.Experiment.net in
   Format.printf "%a (2 links failed)@." Network.pp net;
-  let table = Nue.route ~vcs:1 net in
-  let r = Verify.check table in
+  let out = Experiment.run ~vcs:1 ~engine:"nue" built in
+  let table = Result.get_ok out.Experiment.table in
+  let m = Option.get out.Experiment.metrics in
+  let r = m.Experiment.verify in
   Printf.printf "k=1 routing: connected=%b deadlock_free=%b\n"
     r.Verify.connected r.Verify.deadlock_free;
   assert (r.Verify.connected && r.Verify.deadlock_free);

@@ -1,14 +1,14 @@
 (* Interop walk-through: ingest an ibnetdiscover-style fabric dump (the
-   format the paper's OpenSM toolchain consumes), route it with Nue, and
-   emit the artifacts an operator would use: forwarding tables, a
-   network file and a graphviz rendering.
+   format the paper's OpenSM toolchain consumes), route it with Nue via
+   the experiment pipeline, and emit the artifacts an operator would
+   use: forwarding tables, a network file and a graphviz rendering.
 
    Run with: dune exec examples/opensm_interop.exe *)
 
 open Nue_netgraph
-module Nue = Nue_core.Nue
 module Verify = Nue_routing.Verify
 module Lft = Nue_routing.Lft
+module Experiment = Nue_pipeline.Experiment
 
 (* A small dual-rail-ish fabric as ibnetdiscover would report it: two
    spine switches, three leaves, six hosts, one parallel spine link. *)
@@ -68,9 +68,13 @@ let () =
   assert (Graph_algo.is_connected net);
 
   (* Route with a single VL free for deadlock avoidance (the other
-     lanes are reserved for QoS, say). *)
-  let table = Nue.route ~vcs:1 net in
-  let r = Verify.check table in
+     lanes are reserved for QoS, say): a hand-ingested network enters
+     the pipeline through the [prebuilt] escape hatch. *)
+  let built = Experiment.build (Experiment.setup (Experiment.prebuilt net)) in
+  let out = Experiment.run ~vcs:1 ~engine:"nue" built in
+  let table = Result.get_ok out.Experiment.table in
+  let m = Option.get out.Experiment.metrics in
+  let r = m.Experiment.verify in
   Printf.printf "nue k=1: connected=%b deadlock_free=%b\n" r.Verify.connected
     r.Verify.deadlock_free;
   assert (r.Verify.connected && r.Verify.deadlock_free);

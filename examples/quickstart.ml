@@ -1,6 +1,8 @@
 (* Quickstart: build a small irregular network, route it with Nue under
-   a 2-VC budget, inspect the forwarding tables and verify the three
-   validity properties (connected, cycle-free, deadlock-free).
+   a 2-VC budget, inspect the forwarding tables, verify the three
+   validity properties (connected, cycle-free, deadlock-free) — then let
+   every registered routing engine try the same network through the
+   shared experiment pipeline.
 
    Run with: dune exec examples/quickstart.exe *)
 
@@ -8,6 +10,9 @@ open Nue_netgraph
 module Nue = Nue_core.Nue
 module Table = Nue_routing.Table
 module Verify = Nue_routing.Verify
+module Engine_error = Nue_routing.Engine_error
+module Experiment = Nue_pipeline.Experiment
+module Tm = Nue_metrics.Throughput_model
 
 let () =
   (* The paper's running example: a 5-switch ring with a shortcut
@@ -54,4 +59,25 @@ let () =
   Printf.printf "connected=%b cycle_free=%b deadlock_free=%b\n"
     r.Verify.connected r.Verify.cycle_free r.Verify.deadlock_free;
   assert (r.Verify.connected && r.Verify.cycle_free && r.Verify.deadlock_free);
+
+  (* The same network through the experiment pipeline: every registered
+     engine gets a try, topology-specific ones bow out with a structured
+     error instead of an exception. *)
+  print_newline ();
+  print_endline "every registered engine on the same network (2-VC budget):";
+  let built = Experiment.build (Experiment.setup (Experiment.prebuilt net)) in
+  List.iter
+    (fun out ->
+       match out.Experiment.table with
+       | Ok _ ->
+         let m = Option.get out.Experiment.metrics in
+         let v = m.Experiment.verify in
+         Printf.printf
+           "  %-12s vls=%d connected=%b deadlock_free=%b model %.1f GB/s\n"
+           out.Experiment.engine m.Experiment.vls_used v.Verify.connected
+           v.Verify.deadlock_free m.Experiment.throughput.Tm.aggregate_gbs
+       | Error e ->
+         Printf.printf "  %-12s inapplicable: %s\n" out.Experiment.engine
+           (Engine_error.to_string e))
+    (Experiment.run_all ~vcs:2 built);
   print_endline "quickstart: OK"

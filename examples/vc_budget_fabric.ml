@@ -6,21 +6,26 @@
    and LASH demand however many layers their cycle-breaking needs; Nue
    works within whatever is left.
 
+   The fabric is one experiment-pipeline setup; each QoS split is a
+   registry run of the "nue" engine under a different VC budget, with
+   the path-balance and throughput numbers read off the pipeline's
+   metrics record.
+
    Run with: dune exec examples/vc_budget_fabric.exe *)
 
 open Nue_netgraph
-module Nue = Nue_core.Nue
+module Experiment = Nue_pipeline.Experiment
 module Verify = Nue_routing.Verify
 module Fi = Nue_metrics.Forwarding_index
 module Tm = Nue_metrics.Throughput_model
-module Prng = Nue_structures.Prng
 
 let () =
-  let prng = Prng.create 99 in
-  let net =
-    Topology.random prng ~switches:60 ~inter_switch_links:420
-      ~terminals_per_switch:6 ()
+  let built =
+    Experiment.build
+      (Experiment.setup ~seed:99
+         (Experiment.Random { switches = 60; links = 420; terminals = 6 }))
   in
+  let net = built.Experiment.net in
   Format.printf "%a@.@." Network.pp net;
   Printf.printf "DL-freedom VL demand of the decoupled routings:\n";
   Printf.printf "  dfsssp needs %d VLs\n" (Nue_routing.Dfsssp.required_vcs net);
@@ -29,13 +34,13 @@ let () =
     "gamma_max" "model GB/s";
   List.iter
     (fun (qos_levels, dl_vls) ->
-       let table = Nue.route ~vcs:dl_vls net in
-       assert (Verify.deadlock_free table);
-       let g = Fi.summarize table in
-       let t = Tm.all_to_all table in
+       let out = Experiment.run ~vcs:dl_vls ~engine:"nue" built in
+       let m = Option.get out.Experiment.metrics in
+       assert (m.Experiment.verify.Verify.deadlock_free);
        Printf.printf "%-28s %-10d %-12.0f %-14.1f\n"
          (Printf.sprintf "nue, %d QoS classes" qos_levels)
-         dl_vls g.Fi.max t.Tm.aggregate_gbs)
+         dl_vls m.Experiment.forwarding.Fi.max
+         m.Experiment.throughput.Tm.aggregate_gbs)
     [ (8, 1); (4, 2); (2, 4); (1, 8) ];
   print_newline ();
   print_endline

@@ -1,0 +1,26 @@
+module Engine = Nue_routing.Engine
+
+let engine : (module Engine.ENGINE) =
+  (module struct
+    let name = "nue"
+
+    let capabilities =
+      { Engine.needs_torus_coords = false;
+        needs_tree_meta = false;
+        respects_vc_budget = true;
+        deadlock_free = true;
+        may_disconnect = false }
+
+    let route (s : Engine.spec) =
+      let options = { Nue.default_options with Nue.seed = s.Engine.seed } in
+      Ok
+        (Nue.route ~options ?dests:s.Engine.dests ?sources:s.Engine.sources
+           ~vcs:s.Engine.vcs s.Engine.net)
+  end)
+
+let () = Engine.register engine
+
+let ensure_registered () =
+  match Engine.find "nue" with
+  | None -> Engine.register engine
+  | Some _ -> ()

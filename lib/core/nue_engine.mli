@@ -1,0 +1,15 @@
+(** Registration of Nue into the routing-engine registry.
+
+    Nue lives above [nue_routing] in the library graph (its tables are
+    {!Nue_routing.Table.t}), so it cannot self-register from
+    {!Nue_routing.Engine} the way the baseline engines do. Linking this
+    module registers the "nue" engine: [respects_vc_budget] (any
+    [vcs >= 1]) and [deadlock_free] by construction — the properties
+    Figs. 1/10/11 contrast against DFSSSP/LASH/Torus-2QoS. *)
+
+val engine : (module Nue_routing.Engine.ENGINE)
+
+val ensure_registered : unit -> unit
+(** Idempotent. Calling (or merely referencing) this forces the module
+    to be linked, which runs the registration; [Nue_pipeline.Experiment]
+    does so, guaranteeing a complete registry to pipeline users. *)

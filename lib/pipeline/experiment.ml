@@ -1,0 +1,249 @@
+module Network = Nue_netgraph.Network
+module Topology = Nue_netgraph.Topology
+module Fault = Nue_netgraph.Fault
+module Serialize = Nue_netgraph.Serialize
+module Table = Nue_routing.Table
+module Verify = Nue_routing.Verify
+module Engine = Nue_routing.Engine
+module Engine_error = Nue_routing.Engine_error
+module Fi = Nue_metrics.Forwarding_index
+module Ps = Nue_metrics.Pathstats
+module Tm = Nue_metrics.Throughput_model
+module Sim = Nue_sim.Sim
+module Traffic = Nue_sim.Traffic
+module Prng = Nue_structures.Prng
+
+(* Linking the pipeline must yield the complete registry: the baselines
+   register from Nue_routing.Engine's own init, Nue from here. *)
+let () = Nue_core.Nue_engine.ensure_registered ()
+
+type prebuilt = {
+  pnet : Network.t;
+  ptorus : Topology.torus option;
+  ptree : (int * int) option;
+}
+
+type topology =
+  | Torus3d of { dims : int * int * int; terminals : int; redundancy : int }
+  | Mesh of { dims : int array; terminals : int }
+  | Torus_nd of { dims : int array; terminals : int }
+  | Hypercube of { dim : int; terminals : int }
+  | Fully_connected of { switches : int; terminals : int }
+  | Random of { switches : int; links : int; terminals : int }
+  | Kary_ntree of { k : int; n : int; terminals : int }
+  | Dragonfly of { a : int; p : int; h : int; g : int }
+  | Kautz of { degree : int; diameter : int; terminals : int;
+               redundancy : int }
+  | Cascade
+  | Tsubame25
+  | From_file of string
+  | Prebuilt of prebuilt
+
+let prebuilt ?torus ?tree net = Prebuilt { pnet = net; ptorus = torus; ptree = tree }
+
+type faults =
+  | No_faults
+  | Kill_switches of int list
+  | Cut_links of (int * int) list
+  | Link_failures of float
+
+type setup = { topology : topology; faults : faults; seed : int }
+
+let setup ?(faults = No_faults) ?(seed = 1) topology =
+  { topology; faults; seed }
+
+type built = {
+  base : Network.t;
+  net : Network.t;
+  remap : Fault.remap;
+  torus : Topology.torus option;
+  tree : (int * int) option;
+  seed : int;
+}
+
+let build { topology; faults; seed } =
+  let base_net, torus, tree =
+    match topology with
+    | Torus3d { dims; terminals; redundancy } ->
+      let t =
+        Topology.torus3d ~dims ~terminals_per_switch:terminals ~redundancy ()
+      in
+      (t.Topology.net, Some t, None)
+    | Mesh { dims; terminals } ->
+      ((Topology.mesh ~dims ~terminals_per_switch:terminals ()).Topology.gnet,
+       None, None)
+    | Torus_nd { dims; terminals } ->
+      ((Topology.torus_nd ~dims ~terminals_per_switch:terminals ())
+         .Topology.gnet,
+       None, None)
+    | Hypercube { dim; terminals } ->
+      (Topology.hypercube ~dim ~terminals_per_switch:terminals (), None, None)
+    | Fully_connected { switches; terminals } ->
+      (Topology.fully_connected ~switches ~terminals_per_switch:terminals (),
+       None, None)
+    | Random { switches; links; terminals } ->
+      (Topology.random (Prng.create seed) ~switches ~inter_switch_links:links
+         ~terminals_per_switch:terminals (),
+       None, None)
+    | Kary_ntree { k; n; terminals } ->
+      (Topology.kary_ntree ~k ~n ~terminals_per_leaf:terminals (), None,
+       Some (k, n))
+    | Dragonfly { a; p; h; g } -> (Topology.dragonfly ~a ~p ~h ~g (), None, None)
+    | Kautz { degree; diameter; terminals; redundancy } ->
+      (Topology.kautz ~degree ~diameter ~terminals_per_switch:terminals
+         ~redundancy (),
+       None, None)
+    | Cascade -> (Topology.cascade (), None, None)
+    | Tsubame25 -> (Topology.tsubame25 (), None, None)
+    | From_file path -> (Serialize.read_file path, None, None)
+    | Prebuilt { pnet; ptorus; ptree } -> (pnet, ptorus, ptree)
+  in
+  let remap =
+    match faults with
+    | No_faults -> Fault.identity base_net
+    | Kill_switches ids -> Fault.remove_switches base_net ids
+    | Cut_links pairs -> Fault.remove_links base_net pairs
+    | Link_failures fraction ->
+      (* Stream [seed + 1], the one derivation every driver shares. *)
+      Fault.random_link_failures (Prng.create (seed + 1)) base_net ~fraction
+  in
+  { base = base_net; net = remap.Fault.net; remap; torus; tree; seed }
+
+let spec ?vcs ?dests ?sources b =
+  Engine.spec ?vcs ~seed:b.seed ?dests ?sources ?torus:b.torus
+    ~remap:b.remap ?tree:b.tree b.net
+
+(* {1 Running} *)
+
+type metrics = {
+  verify : Verify.report;
+  vls_used : int;
+  forwarding : Fi.summary;
+  paths : Ps.t;
+  throughput : Tm.t;
+}
+
+type outcome = {
+  engine : string;
+  vcs : int;
+  seconds : float;
+  table : (Table.t, Engine_error.t) result;
+  metrics : metrics option;
+}
+
+let measure table =
+  { verify = Verify.check table;
+    vls_used = Verify.vls_used table;
+    forwarding = Fi.summarize table;
+    paths = Ps.compute table;
+    throughput = Tm.all_to_all table }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run ?(vcs = 8) ?dests ?sources ~engine b =
+  let s = spec ~vcs ?dests ?sources b in
+  let table, seconds = time (fun () -> Engine.route engine s) in
+  let metrics = match table with Ok t -> Some (measure t) | Error _ -> None in
+  { engine; vcs; seconds; table; metrics }
+
+let run_all ?vcs b =
+  List.map
+    (fun (module E : Engine.ENGINE) -> run ?vcs ~engine:E.name b)
+    (Engine.all ())
+
+let simulate ?config ~message_bytes table =
+  let traffic =
+    Traffic.all_to_all_shift table.Table.net ~message_bytes
+  in
+  Sim.run ?config table ~traffic
+
+(* {1 JSON rendering} *)
+
+let verify_to_json (r : Verify.report) =
+  Json.Obj
+    [ ("connected", Json.Bool r.Verify.connected);
+      ("cycle_free", Json.Bool r.Verify.cycle_free);
+      ("deadlock_free", Json.Bool r.Verify.deadlock_free);
+      ("unreachable_pairs", Json.Int r.Verify.unreachable_pairs) ]
+
+let metrics_to_json m =
+  Json.Obj
+    [ ("verify", verify_to_json m.verify);
+      ("vls_used", Json.Int m.vls_used);
+      ("edge_forwarding_index",
+       Json.Obj
+         [ ("min", Json.Float m.forwarding.Fi.min);
+           ("avg", Json.Float m.forwarding.Fi.avg);
+           ("max", Json.Float m.forwarding.Fi.max);
+           ("sd", Json.Float m.forwarding.Fi.sd) ]);
+      ("paths",
+       Json.Obj
+         [ ("max_hops", Json.Int m.paths.Ps.max_hops);
+           ("avg_hops", Json.Float m.paths.Ps.avg_hops);
+           ("pairs", Json.Int m.paths.Ps.pairs);
+           ("unreachable", Json.Int m.paths.Ps.unreachable) ]);
+      ("throughput_model",
+       Json.Obj
+         [ ("aggregate_gbs", Json.Float m.throughput.Tm.aggregate_gbs);
+           ("per_terminal_gbs", Json.Float m.throughput.Tm.per_terminal_gbs);
+           ("gamma_max", Json.Float m.throughput.Tm.gamma_max);
+           ("bottleneck_channel",
+            Json.Int m.throughput.Tm.bottleneck_channel) ]) ]
+
+let network_to_json net =
+  Json.Obj
+    [ ("name", Json.Str (Network.name net));
+      ("switches", Json.Int (Network.num_switches net));
+      ("terminals", Json.Int (Network.num_terminals net));
+      ("inter_switch_channels",
+       Json.Int ((Network.num_channels net / 2) - Network.num_terminals net))
+    ]
+
+let error_to_json (e : Engine_error.t) =
+  let extra =
+    match e with
+    | Engine_error.Vc_budget_exceeded { needed; available } ->
+      [ ("needed", Json.Int needed); ("available", Json.Int available) ]
+    | _ -> []
+  in
+  Json.Obj
+    ([ ("kind", Json.Str (Engine_error.kind e));
+       ("message", Json.Str (Engine_error.to_string e)) ]
+     @ extra)
+
+let outcome_to_json o =
+  let base =
+    [ ("engine", Json.Str o.engine); ("vcs", Json.Int o.vcs);
+      ("seconds", Json.Float o.seconds) ]
+  in
+  match (o.table, o.metrics) with
+  | Ok table, Some m ->
+    Json.Obj
+      (base
+       @ [ ("applicable", Json.Bool true);
+           ("algorithm", Json.Str table.Table.algorithm);
+           ("destinations", Json.Int (Array.length table.Table.dests));
+           ("num_vls", Json.Int table.Table.num_vls);
+           ("counters",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, Json.Float v)) table.Table.info));
+           ("metrics", metrics_to_json m) ])
+  | Error e, _ ->
+    Json.Obj (base @ [ ("applicable", Json.Bool false); ("error", error_to_json e) ])
+  | Ok _, None ->
+    Json.Obj (base @ [ ("applicable", Json.Bool true) ])
+
+let sim_to_json (o : Sim.outcome) =
+  Json.Obj
+    [ ("delivered_packets", Json.Int o.Sim.delivered_packets);
+      ("total_packets", Json.Int o.Sim.total_packets);
+      ("delivered_bytes", Json.Int o.Sim.delivered_bytes);
+      ("cycles", Json.Int o.Sim.cycles);
+      ("deadlock", Json.Bool o.Sim.deadlock);
+      ("aggregate_gbs", Json.Float o.Sim.aggregate_gbs);
+      ("avg_packet_latency", Json.Float o.Sim.avg_packet_latency);
+      ("latency_p50", Json.Float o.Sim.latency_p50);
+      ("latency_p99", Json.Float o.Sim.latency_p99) ]

@@ -1,0 +1,152 @@
+(** The shared experiment pipeline: topology construction, fault
+    injection, engine routing, verification and metrics as one reusable
+    stage list.
+
+    Every driver (the [nue_route] CLI, the bench figure harnesses, the
+    examples) used to hand-wire its own
+    topology -> fault -> route -> verify -> metrics sequence; this module
+    is the single implementation. Build a {!setup}, {!build} it (the
+    deterministic PRNG streams for random topologies and fault injection
+    are derived from [setup.seed] here and nowhere else, so CLI and bench
+    can no longer drift), then {!run} any registered engine over it.
+
+    Linking this module also guarantees the engine registry is complete:
+    it forces [Nue_core.Nue_engine]'s registration of Nue alongside the
+    baselines registered by [Nue_routing.Engine] itself. *)
+
+module Engine = Nue_routing.Engine
+
+(** {1 Topology description} *)
+
+type prebuilt = {
+  pnet : Nue_netgraph.Network.t;
+  ptorus : Nue_netgraph.Topology.torus option;
+  ptree : (int * int) option;
+}
+
+type topology =
+  | Torus3d of { dims : int * int * int; terminals : int; redundancy : int }
+  | Mesh of { dims : int array; terminals : int }
+  | Torus_nd of { dims : int array; terminals : int }
+  | Hypercube of { dim : int; terminals : int }
+  | Fully_connected of { switches : int; terminals : int }
+  | Random of { switches : int; links : int; terminals : int }
+  | Kary_ntree of { k : int; n : int; terminals : int }
+  | Dragonfly of { a : int; p : int; h : int; g : int }
+  | Kautz of { degree : int; diameter : int; terminals : int;
+               redundancy : int }
+  | Cascade
+  | Tsubame25
+  | From_file of string
+  | Prebuilt of prebuilt
+      (** escape hatch for hand-built networks (examples, sweeps) that
+          still want unified fault injection, routing and metrics *)
+
+val prebuilt :
+  ?torus:Nue_netgraph.Topology.torus ->
+  ?tree:int * int ->
+  Nue_netgraph.Network.t ->
+  topology
+
+(** {1 Fault plan} *)
+
+type faults =
+  | No_faults
+  | Kill_switches of int list  (** fail these switches (and their terminals) *)
+  | Cut_links of (int * int) list  (** fail one duplex link per pair *)
+  | Link_failures of float
+      (** fail this fraction of inter-switch links, chosen by the
+          deterministic stream derived from [setup.seed] *)
+
+type setup = { topology : topology; faults : faults; seed : int }
+
+val setup : ?faults:faults -> ?seed:int -> topology -> setup
+(** [faults] defaults to [No_faults], [seed] to 1. *)
+
+(** {1 Building} *)
+
+type built = {
+  base : Nue_netgraph.Network.t;  (** the intact network *)
+  net : Nue_netgraph.Network.t;   (** the degraded network ([= base] when
+                                      no faults were injected) *)
+  remap : Nue_netgraph.Fault.remap;  (** base -> net node mapping *)
+  torus : Nue_netgraph.Topology.torus option;
+  tree : (int * int) option;
+  seed : int;
+}
+
+val build : setup -> built
+(** Construct the network and inject the faults. Topology generation
+    uses PRNG stream [seed]; fault selection uses stream [seed + 1] —
+    the same derivation for every driver.
+    @raise Invalid_argument if the fault plan disconnects the network
+    (propagated from {!Nue_netgraph.Fault}). *)
+
+val spec :
+  ?vcs:int ->
+  ?dests:int array ->
+  ?sources:int array ->
+  built ->
+  Engine.spec
+(** The routing spec for this built network: carries the degraded
+    network plus the torus/tree metadata and the setup seed. [vcs]
+    defaults to 8. *)
+
+(** {1 Running engines} *)
+
+type metrics = {
+  verify : Nue_routing.Verify.report;
+  vls_used : int;
+  forwarding : Nue_metrics.Forwarding_index.summary;
+  paths : Nue_metrics.Pathstats.t;
+  throughput : Nue_metrics.Throughput_model.t;
+}
+
+type outcome = {
+  engine : string;
+  vcs : int;
+  seconds : float;  (** wall-clock of the routing computation alone *)
+  table : (Nue_routing.Table.t, Nue_routing.Engine_error.t) result;
+  metrics : metrics option;  (** [Some] iff [table] is [Ok] *)
+}
+
+val measure : Nue_routing.Table.t -> metrics
+
+val run :
+  ?vcs:int ->
+  ?dests:int array ->
+  ?sources:int array ->
+  engine:string ->
+  built ->
+  outcome
+(** Route with the named engine and compute the full metrics record.
+    Unknown engines and engine failures land in [outcome.table]'s
+    [Error] — never an exception. *)
+
+val run_all : ?vcs:int -> built -> outcome list
+(** {!run} every registered engine (registry order). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Wall-clock a computation (shared by the bench drivers). *)
+
+val simulate :
+  ?config:Nue_sim.Sim.config ->
+  message_bytes:int ->
+  Nue_routing.Table.t ->
+  Nue_sim.Sim.outcome
+(** Flit-level all-to-all-shift simulation of a routed table (the
+    optional last pipeline stage). *)
+
+(** {1 JSON rendering (for [--format json] and scripting)} *)
+
+val verify_to_json : Nue_routing.Verify.report -> Json.t
+val metrics_to_json : metrics -> Json.t
+val network_to_json : Nue_netgraph.Network.t -> Json.t
+val error_to_json : Nue_routing.Engine_error.t -> Json.t
+
+val outcome_to_json : outcome -> Json.t
+(** Engine name, applicability, timing, the verify report, the
+    algorithm's [run_stats]-style counters ([Table.info]) and the
+    path/VL/throughput metrics. *)
+
+val sim_to_json : Nue_sim.Sim.outcome -> Json.t

@@ -1,0 +1,78 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let float_repr f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    (* "3" instead of "3." — valid JSON either way, nicer to read. *)
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let rec render ~indent ~level buf v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let sep = if indent then ",\n" else "," in
+  let open_c c = Buffer.add_char buf c; if indent then Buffer.add_char buf '\n' in
+  let close_c c = if indent then Buffer.add_char buf '\n'; pad level; Buffer.add_char buf c in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s -> Buffer.add_string buf (escape s)
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    open_c '[';
+    List.iteri
+      (fun i item ->
+         if i > 0 then Buffer.add_string buf sep;
+         pad (level + 1);
+         render ~indent ~level:(level + 1) buf item)
+      items;
+    close_c ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    open_c '{';
+    List.iteri
+      (fun i (k, item) ->
+         if i > 0 then Buffer.add_string buf sep;
+         pad (level + 1);
+         Buffer.add_string buf (escape k);
+         Buffer.add_string buf (if indent then ": " else ":");
+         render ~indent ~level:(level + 1) buf item)
+      fields;
+    close_c '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  render ~indent:false ~level:0 buf v;
+  Buffer.contents buf
+
+let to_string_pretty v =
+  let buf = Buffer.create 256 in
+  render ~indent:true ~level:0 buf v;
+  Buffer.contents buf

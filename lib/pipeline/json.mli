@@ -1,0 +1,23 @@
+(** Minimal hand-rolled JSON emitter (no external dependencies).
+
+    Only what the experiment pipeline and the [--format json] CLI output
+    need: construction and serialization. Strings are escaped per RFC
+    8259; non-finite floats serialize as [null] (JSON has no NaN). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering for human consumption. *)
+
+val escape : string -> string
+(** The quoted, escaped form of a string literal. *)

@@ -24,22 +24,26 @@ let paths_only ?dests ?sources net =
   Table.make ~net ~algorithm:"sssp" ~dests ~next_channel ~vl:Table.All_zero
     ~num_vls:1 ()
 
-let route ?dests ?sources ?(max_vls = 8) net =
+let route_structured ?dests ?sources ?(max_vls = 8) net =
   let dests, sources = defaults ?dests ?sources net in
   let next_channel = compute_paths net ~dests ~sources in
   match
     Layers.assign net ~dests ~next_channel ~sources ~max_layers:max_vls ()
   with
   | None ->
-    Error
-      (Printf.sprintf
-         "dfsssp: needs more than the %d available virtual layers" max_vls)
+    let needed = Layers.required_vcs net ~dests ~next_channel ~sources in
+    Error (Engine_error.Vc_budget_exceeded { needed; available = max_vls })
   | Some { Layers.vl; layers_used } ->
       Ok
         (Table.make ~net ~algorithm:"dfsssp" ~dests ~next_channel
            ~vl:(Table.Per_pair vl) ~num_vls:layers_used
            ~info:[ ("required_vls", float_of_int layers_used) ]
            ())
+
+let route ?dests ?sources ?max_vls net =
+  match route_structured ?dests ?sources ?max_vls net with
+  | Ok t -> Ok t
+  | Error e -> Error ("dfsssp: " ^ Engine_error.to_string e)
 
 let required_vcs ?dests ?sources net =
   let dests, sources = defaults ?dests ?sources net in

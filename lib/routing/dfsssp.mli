@@ -9,14 +9,25 @@
     case DFSSSP is inapplicable (the failure mode Figs. 1, 10, 11
     exhibit and Nue was built to avoid). *)
 
+val route_structured :
+  ?dests:int array ->
+  ?sources:int array ->
+  ?max_vls:int ->
+  Nue_netgraph.Network.t ->
+  (Table.t, Engine_error.t) result
+(** Canonical entry point (what the {!Engine} registry calls).
+    [max_vls] defaults to 8 (InfiniBand data VLs); failures are
+    [Engine_error.Vc_budget_exceeded] carrying the exact layer count the
+    greedy assignment needed. *)
+
 val route :
   ?dests:int array ->
   ?sources:int array ->
   ?max_vls:int ->
   Nue_netgraph.Network.t ->
   (Table.t, string) result
-(** [max_vls] defaults to 8 (InfiniBand data VLs). On failure the error
-    mentions the number of layers the greedy assignment needed. *)
+(** Legacy wrapper over {!route_structured} with stringified errors;
+    prefer the engine registry in new code. *)
 
 val paths_only :
   ?dests:int array ->

@@ -1,0 +1,28 @@
+type t =
+  | Vc_budget_exceeded of { needed : int; available : int }
+  | Topology_mismatch of string
+  | Unroutable of string
+  | Disconnected of string
+  | Invalid_spec of string
+  | Unknown_engine of string
+  | Internal of string
+
+let to_string = function
+  | Vc_budget_exceeded { needed; available } ->
+    Printf.sprintf "needs %d virtual layers but only %d VLs are available"
+      needed available
+  | Topology_mismatch msg -> msg
+  | Unroutable msg -> msg
+  | Disconnected msg -> msg
+  | Invalid_spec msg -> Printf.sprintf "invalid spec: %s" msg
+  | Unknown_engine name -> Printf.sprintf "unknown routing engine %S" name
+  | Internal msg -> Printf.sprintf "internal error: %s" msg
+
+let kind = function
+  | Vc_budget_exceeded _ -> "vc_budget_exceeded"
+  | Topology_mismatch _ -> "topology_mismatch"
+  | Unroutable _ -> "unroutable"
+  | Disconnected _ -> "disconnected"
+  | Invalid_spec _ -> "invalid_spec"
+  | Unknown_engine _ -> "unknown_engine"
+  | Internal _ -> "internal"

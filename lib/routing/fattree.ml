@@ -5,7 +5,7 @@ module Network = Nue_netgraph.Network
    switch is its index within the level, read as n-1 base-k digits
    (digit i as produced by Topology.kary_ntree). *)
 
-let route ~k ~n ?dests ?sources net =
+let route_structured ~k ~n ?dests ?sources net =
   ignore sources;
   let per_level =
     int_of_float (float_of_int k ** float_of_int (n - 1))
@@ -14,7 +14,11 @@ let route ~k ~n ?dests ?sources net =
   if
     Network.num_switches net <> num_switches
     || Array.exists (fun s -> s >= num_switches) (Network.switches net)
-  then Error "fattree: network is not a k-ary n-tree built by Topology.kary_ntree"
+  then
+    Error
+      (Engine_error.Topology_mismatch
+         "fattree: network is not a k-ary n-tree built by \
+          Topology.kary_ntree")
   else begin
     let level s = s / per_level in
     let word s = s mod per_level in
@@ -90,3 +94,8 @@ let route ~k ~n ?dests ?sources net =
       (Table.make ~net ~algorithm:"fattree" ~dests ~next_channel
          ~vl:Table.All_zero ~num_vls:1 ())
   end
+
+let route ~k ~n ?dests ?sources net =
+  match route_structured ~k ~n ?dests ?sources net with
+  | Ok t -> Ok t
+  | Error e -> Error (Engine_error.to_string e)

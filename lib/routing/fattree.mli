@@ -5,6 +5,17 @@
     lane (up*/down* on a tree). Only applicable to networks built by
     {!Nue_netgraph.Topology.kary_ntree}. *)
 
+val route_structured :
+  k:int ->
+  n:int ->
+  ?dests:int array ->
+  ?sources:int array ->
+  Nue_netgraph.Network.t ->
+  (Table.t, Engine_error.t) result
+(** Canonical entry point (what the {!Engine} registry calls). Networks
+    not built by {!Nue_netgraph.Topology.kary_ntree} yield
+    [Engine_error.Topology_mismatch]. *)
+
 val route :
   k:int ->
   n:int ->
@@ -12,3 +23,4 @@ val route :
   ?sources:int array ->
   Nue_netgraph.Network.t ->
   (Table.t, string) result
+(** Legacy wrapper over {!route_structured} with stringified errors. *)

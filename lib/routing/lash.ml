@@ -164,18 +164,20 @@ let run ?dests ?sources ~max_layers net =
          (),
        layer_count)
 
-let route ?dests ?sources ?(max_vls = 8) net =
+let route_structured ?dests ?sources ?(max_vls = 8) net =
   match run ?dests ?sources ~max_layers:(Some max_vls) net with
   | Some (t, _) -> Ok t
   | None ->
     (* Re-run unbounded to report the requirement. *)
     (match run ?dests ?sources ~max_layers:None net with
      | Some (_, needed) ->
-       Error
-         (Printf.sprintf
-            "lash: needs %d virtual layers but only %d VLs are available"
-            needed max_vls)
-     | None -> Error "lash: assignment failed")
+       Error (Engine_error.Vc_budget_exceeded { needed; available = max_vls })
+     | None -> Error (Engine_error.Internal "lash: assignment failed"))
+
+let route ?dests ?sources ?max_vls net =
+  match route_structured ?dests ?sources ?max_vls net with
+  | Ok t -> Ok t
+  | Error e -> Error ("lash: " ^ Engine_error.to_string e)
 
 let required_vcs ?dests ?sources net =
   match run ?dests ?sources ~max_layers:None net with

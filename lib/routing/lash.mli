@@ -8,13 +8,23 @@
     switch pair. Like DFSSSP, LASH fails when the layers needed exceed
     the available VLs. *)
 
+val route_structured :
+  ?dests:int array ->
+  ?sources:int array ->
+  ?max_vls:int ->
+  Nue_netgraph.Network.t ->
+  (Table.t, Engine_error.t) result
+(** Canonical entry point (what the {!Engine} registry calls).
+    [max_vls] defaults to 8; failures are
+    [Engine_error.Vc_budget_exceeded] with the exact requirement. *)
+
 val route :
   ?dests:int array ->
   ?sources:int array ->
   ?max_vls:int ->
   Nue_netgraph.Network.t ->
   (Table.t, string) result
-(** [max_vls] defaults to 8. *)
+(** Legacy wrapper over {!route_structured} with stringified errors. *)
 
 val required_vcs :
   ?dests:int array -> ?sources:int array -> Nue_netgraph.Network.t -> int

@@ -120,7 +120,7 @@ let next_at ctx grid ~node ~dest_switch_coord ~salt =
   in
   try_orders orders
 
-let route ~torus ~remap ?dests ?sources () =
+let route_structured ~torus ~remap ?dests ?sources () =
   let ctx = make_ctx ~torus ~remap in
   let net = ctx.net in
   let grid = torus.switch_of_coord in
@@ -147,7 +147,10 @@ let route ~torus ~remap ?dests ?sources () =
                  match Network.find_channel net dw dest with
                  | Some c -> nexts.(node) <- c
                  | None ->
-                   failure := Some "torus2qos: destination lost its link"
+                   failure :=
+                     Some
+                       (Engine_error.Unroutable
+                          "torus2qos: destination lost its link")
              end
              else begin
                match next_at ctx grid ~node ~dest_switch_coord:wc ~salt:dest with
@@ -157,17 +160,18 @@ let route ~torus ~remap ?dests ?sources () =
                | None ->
                  failure :=
                    Some
-                     (Printf.sprintf
-                        "torus2qos: no DOR progress from switch %d \
-                         (two failures in one ring?)"
-                        node)
+                     (Engine_error.Unroutable
+                        (Printf.sprintf
+                           "torus2qos: no DOR progress from switch %d \
+                            (two failures in one ring?)"
+                           node))
              end
          done;
          nexts)
       dests
   in
   match !failure with
-  | Some msg -> Error msg
+  | Some err -> Error err
   | None ->
     (* Paths whose canonical dimension order was blocked run on the two
        extra virtual lanes. Unlike the dateline-protected canonical
@@ -290,7 +294,13 @@ let route ~torus ~remap ?dests ?sources () =
         dests;
       if !cyclic then
         Error
-          "torus2qos: fault pattern requires dimension reordering whose \
-           dependencies close a cycle (beyond Torus-2QoS's envelope)"
+          (Engine_error.Unroutable
+             "torus2qos: fault pattern requires dimension reordering whose \
+              dependencies close a cycle (beyond Torus-2QoS's envelope)")
       else Ok table
     end
+
+let route ~torus ~remap ?dests ?sources () =
+  match route_structured ~torus ~remap ?dests ?sources () with
+  | Ok t -> Ok t
+  | Error e -> Error (Engine_error.to_string e)

@@ -11,6 +11,19 @@
     lanes. Two failures in one ring (or an unroutable pair) make the
     algorithm inapplicable — the failure mode motivating Nue (Fig. 1). *)
 
+val route_structured :
+  torus:Nue_netgraph.Topology.torus ->
+  remap:Nue_netgraph.Fault.remap ->
+  ?dests:int array ->
+  ?sources:int array ->
+  unit ->
+  (Table.t, Engine_error.t) result
+(** Canonical entry point (what the {!Engine} registry calls). [remap]
+    carries the faulty network derived from [torus.net] (use
+    [Fault.identity torus.net] for the intact torus). Destinations and
+    sources default to the faulty network's terminals. Fault patterns
+    beyond the Torus-2QoS envelope yield [Engine_error.Unroutable]. *)
+
 val route :
   torus:Nue_netgraph.Topology.torus ->
   remap:Nue_netgraph.Fault.remap ->
@@ -18,6 +31,4 @@ val route :
   ?sources:int array ->
   unit ->
   (Table.t, string) result
-(** [remap] carries the faulty network derived from [torus.net] (use
-    [Fault.identity torus.net] for the intact torus). Destinations and
-    sources default to the faulty network's terminals. *)
+(** Legacy wrapper over {!route_structured} with stringified errors. *)

@@ -11,4 +11,5 @@ let () =
          Test_io.suite;
          Test_wave3.suite;
          Test_properties.suite;
-         Test_sim.suite ])
+         Test_sim.suite;
+         Test_engine.suite ])
