@@ -11,10 +11,11 @@
 
 let usage () =
   print_endline
-    "experiments: tab1 topo-stats fig1a fig1b fig9 sec51 fig10 fig11\n\
+    "experiments: tab1 topo-stats trace fig1a fig1b fig9 sec51 fig10 fig11\n\
     \             abl-partition abl-root abl-opt abl-weights abl-impasse bechamel\n\
      flags: --full (paper-scale), --sim (flit-level simulation),\n\
-    \        --no-sim, --topos N (fig9 topology count)"
+    \        --no-sim, --topos N (fig9 topology count)\n\
+     every run writes machine-readable results to BENCH_nue.json"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -37,7 +38,7 @@ let () =
       args
   in
   let wanted = if wanted = [] then
-      [ "tab1"; "fig1a"; "fig9"; "fig10"; "fig11"; "abl-partition";
+      [ "tab1"; "trace"; "fig1a"; "fig9"; "fig10"; "fig11"; "abl-partition";
         "abl-root"; "abl-opt"; "abl-weights"; "abl-impasse" ]
     else wanted
   in
@@ -47,6 +48,7 @@ let () =
     Printf.printf "Nue reproduction harness (%s scale)\n"
       (if full then "paper" else "reduced");
     if has "tab1" then Tab1.run ();
+    if has "trace" then Trace_bench.run ~full ();
     if has "topo-stats" then Topostats.run ();
     if has "fig1a" || has "fig1b" || has "fig1" then
       (* fig1a and fig1b come from the same runs. *)
@@ -59,5 +61,8 @@ let () =
     if has "abl-opt" then Ablations.optimizations ~full ();
     if has "abl-weights" then Ablations.weights ~full ();
     if has "abl-impasse" then Ablations.impasse ~full ();
-    if has "bechamel" || List.mem "--bechamel" args then Bechamel_suite.run ()
+    if has "bechamel" || List.mem "--bechamel" args then Bechamel_suite.run ();
+    (* Always emit the machine-readable report, even for a subset run:
+       the perf trajectory and the CI artifact step read this file. *)
+    Report.write ()
   end

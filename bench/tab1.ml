@@ -5,6 +5,7 @@
 module Network = Nue_netgraph.Network
 module Topology = Nue_netgraph.Topology
 module Prng = Nue_structures.Prng
+module Json = Nue_pipeline.Json
 
 let configs () =
   [ ("Random", (Topology.random (Prng.create 42) ~switches:125 ~inter_switch_links:1000 ~terminals_per_switch:8 ()), 1);
@@ -22,16 +23,25 @@ let run () =
   Common.print_header
     [ (24, "Topology"); (10, "Switches"); (11, "Terminals"); (10, "Channels");
       (3, "r") ];
-  List.iter
-    (fun (name, net, r) ->
-       let isl = (Network.num_channels net / 2) - Network.num_terminals net in
-       Printf.printf "%s%s%s%s%s\n"
-         (Common.cell 24 name)
-         (Common.cell 10 (string_of_int (Network.num_switches net)))
-         (Common.cell 11 (string_of_int (Network.num_terminals net)))
-         (Common.cell 10 (string_of_int isl))
-         (Common.cell 3 (string_of_int r)))
-    (configs ());
+  let rows =
+    List.map
+      (fun (name, net, r) ->
+         let isl = (Network.num_channels net / 2) - Network.num_terminals net in
+         Printf.printf "%s%s%s%s%s\n"
+           (Common.cell 24 name)
+           (Common.cell 10 (string_of_int (Network.num_switches net)))
+           (Common.cell 11 (string_of_int (Network.num_terminals net)))
+           (Common.cell 10 (string_of_int isl))
+           (Common.cell 3 (string_of_int r));
+         Json.Obj
+           [ ("topology", Json.Str name);
+             ("switches", Json.Int (Network.num_switches net));
+             ("terminals", Json.Int (Network.num_terminals net));
+             ("inter_switch_channels", Json.Int isl);
+             ("redundancy", Json.Int r) ])
+      (configs ())
+  in
+  Report.add "tab1" (Json.List rows);
   print_newline ();
   print_endline
     "Paper values: 125/1000/1000/1, 150/1050/1800/4, 300/1100/2000/1,\n\

@@ -27,6 +27,7 @@ module Table = Nue_routing.Table
 module Experiment = Nue_pipeline.Experiment
 module Json = Nue_pipeline.Json
 module Sim = Nue_sim.Sim
+module Obs = Nue_obs.Obs
 
 (* {1 Topology construction} *)
 
@@ -111,6 +112,33 @@ let json_payload built (o : Experiment.outcome) extra =
        ("outcome", Experiment.outcome_to_json o) ]
      @ extra)
 
+(* Run a thunk, tracing it when [--trace] was given; the snapshot is
+   [None] otherwise. *)
+let maybe_trace trace f =
+  if trace then
+    let r, snap = Experiment.with_trace f in
+    (r, Some snap)
+  else (f (), None)
+
+let trace_extra = function
+  | None -> []
+  | Some snap -> [ ("trace", Experiment.trace_to_json snap) ]
+
+let print_trace = function
+  | None -> ()
+  | Some snap ->
+    print_endline "\ntrace counters (nonzero):";
+    List.iter
+      (fun (k, v) -> if v <> 0 then Printf.printf "  %-28s %d\n" k v)
+      snap.Obs.counters;
+    print_endline "trace timers:";
+    List.iter
+      (fun (k, (t : Obs.timer_total)) ->
+         if t.Obs.activations > 0 then
+           Printf.printf "  %-28s %.6f s over %d activation(s)\n" k
+             t.Obs.seconds t.Obs.activations)
+      snap.Obs.timers
+
 let exit_code_of (o : Experiment.outcome) =
   match (o.Experiment.table, o.Experiment.metrics) with
   | Error _, _ -> 1
@@ -182,6 +210,14 @@ let format_t =
                  machine-readable object with the verify report, counters \
                  and metrics).")
 
+let trace_t =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Enable the instrumentation layer for this run and report \
+                 its counters and timers (omega-memoization hit rate, heap \
+                 op counts, per-engine wall time, ...) as a trace table \
+                 (text) or a $(b,trace) object (json).")
+
 let build_t =
   let make topology dims terminals switches links seed kill linkfail file =
     build_topology ~topology ~dims ~terminals ~switches ~links ~seed
@@ -193,37 +229,54 @@ let build_t =
 (* {1 Subcommands} *)
 
 let route_cmd =
-  let run built algorithm vcs format =
-    let o = Experiment.run ~vcs ~engine:algorithm built in
+  let run built algorithm vcs trace format =
+    let o, snap =
+      maybe_trace trace (fun () -> Experiment.run ~vcs ~engine:algorithm built)
+    in
     match format with
     | `Json ->
-      print_endline (Json.to_string_pretty (json_payload built o []));
+      print_endline
+        (Json.to_string_pretty (json_payload built o (trace_extra snap)));
       exit (exit_code_of o)
     | _ ->
       let _ = report_text built o in
+      print_trace snap;
       exit (exit_code_of o)
   in
   Cmd.v (Cmd.info "route" ~doc:"Route a topology and verify the result")
-    Term.(const run $ build_t $ algorithm_t $ vcs_t $ format_t)
+    Term.(const run $ build_t $ algorithm_t $ vcs_t $ trace_t $ format_t)
 
 let sim_cmd =
-  let run built algorithm vcs message_bytes format =
-    let o = Experiment.run ~vcs ~engine:algorithm built in
-    match (o.Experiment.table, format) with
-    | Error e, `Json ->
-      print_endline (Json.to_string_pretty (json_payload built o []));
+  let run built algorithm vcs message_bytes trace format =
+    (* The trace window covers routing and the flit simulation, so the
+       snapshot carries both the CDG/heap counters and sim.* counters. *)
+    let (o, sim), snap =
+      maybe_trace trace (fun () ->
+          let o = Experiment.run ~vcs ~engine:algorithm built in
+          let sim =
+            match o.Experiment.table with
+            | Ok table -> Some (Experiment.simulate ~message_bytes table)
+            | Error _ -> None
+          in
+          (o, sim))
+    in
+    match (o.Experiment.table, sim, format) with
+    | Error e, _, `Json ->
+      print_endline
+        (Json.to_string_pretty (json_payload built o (trace_extra snap)));
       ignore e;
       exit 1
-    | Error e, _ ->
+    | Error e, _, _ ->
       Printf.eprintf "routing failed: %s\n" (Engine_error.to_string e);
       exit 1
-    | Ok table, _ ->
-      let out = Experiment.simulate ~message_bytes table in
+    | Ok _, None, _ -> assert false
+    | Ok _, Some out, _ ->
       (match format with
        | `Json ->
          print_endline
            (Json.to_string_pretty
-              (json_payload built o [ ("sim", Experiment.sim_to_json out) ]))
+              (json_payload built o
+                 ([ ("sim", Experiment.sim_to_json out) ] @ trace_extra snap)))
        | _ ->
          let _ = report_text built o in
          Printf.printf
@@ -231,7 +284,8 @@ let sim_cmd =
             avg latency %.0f cycles\n"
            out.Sim.delivered_packets out.Sim.total_packets
            out.Sim.cycles out.Sim.deadlock
-           out.Sim.aggregate_gbs out.Sim.avg_packet_latency);
+           out.Sim.aggregate_gbs out.Sim.avg_packet_latency;
+         print_trace snap);
       if out.Sim.deadlock then exit 3;
       exit (exit_code_of o)
   in
@@ -240,7 +294,8 @@ let sim_cmd =
          & info [ "message-bytes" ] ~docv:"B" ~doc:"All-to-all message size.")
   in
   Cmd.v (Cmd.info "sim" ~doc:"Route and run a flit-level all-to-all simulation")
-    Term.(const run $ build_t $ algorithm_t $ vcs_t $ bytes_t $ format_t)
+    Term.(const run $ build_t $ algorithm_t $ vcs_t $ bytes_t $ trace_t
+          $ format_t)
 
 let dump_cmd =
   let run built algorithm vcs switch =
@@ -314,8 +369,11 @@ let export_cmd =
     Term.(const run $ build_t $ out_t $ dot_t $ lft_t $ algorithm_t $ vcs_t)
 
 let compare_cmd =
-  let run built vcs =
+  let run built vcs trace =
     Format.printf "%a@.@." Network.pp built.Experiment.net;
+    let outcomes, snap =
+      maybe_trace trace (fun () -> Experiment.run_all ~vcs built)
+    in
     Printf.printf "%-11s %-9s %-10s %-10s %-9s %-12s %-8s\n" "routing"
       "VLs" "gamma_max" "max_hops" "avg_hops" "model GB/s" "time s";
     List.iter
@@ -344,12 +402,13 @@ let compare_cmd =
              m.Experiment.throughput.Tm.aggregate_gbs o.Experiment.seconds
              validity
          | Ok _, None -> ())
-      (Experiment.run_all ~vcs built)
+      outcomes;
+    print_trace snap
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run every registered routing engine and compare quality")
-    Term.(const run $ build_t $ vcs_t)
+    Term.(const run $ build_t $ vcs_t $ trace_t)
 
 let () =
   let info =

@@ -6,6 +6,14 @@
    closes a cycle. Otherwise the vertices of B ∪ F are reassigned to the
    sorted pool of their old order slots, B first. *)
 
+module Obs = Nue_obs.Obs
+
+let c_add = Obs.counter "pk.add_calls"
+let c_fast = Obs.counter "pk.add_fast" (* duplicate or already ordered *)
+let c_reorder = Obs.counter "pk.add_reorder"
+let c_cycle = Obs.counter "pk.add_cycle"
+let c_moved = Obs.counter "pk.reorder_moved" (* vertices reassigned *)
+
 type t = {
   n : int;
   succ : (int, int) Hashtbl.t array;
@@ -45,12 +53,18 @@ let bump t u v =
 exception Cycle
 
 let try_add_edge t u v =
-  if u = v then false
+  Obs.incr c_add;
+  if u = v then begin
+    Obs.incr c_cycle;
+    false
+  end
   else if mem_edge t u v then begin
+    Obs.incr c_fast;
     bump t u v;
     true
   end
   else if t.ord.(u) < t.ord.(v) then begin
+    Obs.incr c_fast;
     bump t u v;
     true
   end
@@ -68,7 +82,9 @@ let try_add_edge t u v =
       end
     in
     match fwd v with
-    | exception Cycle -> false
+    | exception Cycle ->
+      Obs.incr c_cycle;
+      false
     | () ->
       (* Backward discovery from u, bounded by [lower]. *)
       let b_seen = Hashtbl.create 16 in
@@ -92,6 +108,8 @@ let try_add_edge t u v =
       let slots =
         List.sort compare (List.map (fun x -> t.ord.(x)) vertices)
       in
+      Obs.incr c_reorder;
+      Obs.add c_moved (List.length vertices);
       List.iter2 (fun x s -> t.ord.(x) <- s) vertices slots;
       bump t u v;
       true

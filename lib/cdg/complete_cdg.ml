@@ -1,4 +1,21 @@
 module Network = Nue_netgraph.Network
+module Obs = Nue_obs.Obs
+
+(* Section 4.6.1 effectiveness counters: the omega labels memoize the
+   acyclicity question, so "hits" are calls answered from stored state
+   — (a) blocked, (b) already used — and "misses" are the calls that
+   needed real work: the subgraph-id comparison of (c) or the DFS of
+   (d). *)
+let c_usable = Obs.counter "cdg.usable_calls"
+let c_hit_blocked = Obs.counter "cdg.memo.hit_blocked"
+let c_hit_used = Obs.counter "cdg.memo.hit_used"
+let c_distinct = Obs.counter "cdg.memo.miss_distinct"
+let c_search = Obs.counter "cdg.memo.miss_search"
+let c_visited = Obs.counter "cdg.search_visited"
+let c_accept = Obs.counter "cdg.edges_accepted"
+let c_reject = Obs.counter "cdg.edges_rejected"
+let c_merge = Obs.counter "cdg.subgraph_merges"
+let c_relabel = Obs.counter "cdg.subgraph_relabels"
 
 type members = {
   mutable chans : int list;
@@ -124,6 +141,8 @@ let merge t a b =
     let keep, keep_g, drop, drop_g =
       if ga.size >= gb.size then a, ga, b, gb else b, gb, a, ga
     in
+    Obs.incr c_merge;
+    Obs.add c_relabel drop_g.size;
     List.iter (fun c -> t.chan_state.(c) <- keep) drop_g.chans;
     List.iter (fun (f, s) -> t.succ_state.(f).(s) <- keep) drop_g.edges;
     keep_g.chans <- List.rev_append drop_g.chans keep_g.chans;
@@ -155,6 +174,7 @@ let reaches t ~start ~target =
       stack := rest;
       if c = target then found := true
       else if t.stamp.(c) <> stamp then begin
+        Obs.incr c_visited;
         t.stamp.(c) <- stamp;
         let s = t.succ.(c) and st = t.succ_state.(c) in
         for i = 0 to Array.length s - 1 do
@@ -165,16 +185,29 @@ let reaches t ~start ~target =
   !found
 
 let usable t ~from ~slot ~commit =
+  Obs.incr c_usable;
   let state = t.succ_state.(from).(slot) in
-  if state = -1 then false (* (a) known to close a cycle *)
-  else if state >= 1 then true (* (b) already used, already acyclic *)
+  if state = -1 then begin
+    (* (a) known to close a cycle *)
+    Obs.incr c_hit_blocked;
+    if commit then Obs.incr c_reject;
+    false
+  end
+  else if state >= 1 then begin
+    (* (b) already used, already acyclic *)
+    Obs.incr c_hit_used;
+    if commit then Obs.incr c_accept;
+    true
+  end
   else begin
     let q = t.succ.(from).(slot) in
     let om_p = t.chan_state.(from) and om_q = t.chan_state.(q) in
     if om_p = 0 || om_q = 0 || om_p <> om_q then begin
       (* (c) connecting distinct (or fresh) acyclic subgraphs cannot
          close a cycle. *)
+      Obs.incr c_distinct;
       if commit then begin
+        Obs.incr c_accept;
         let id_p = use_channel t from in
         let id_q = use_channel t q in
         let id = merge t id_p id_q in
@@ -182,14 +215,23 @@ let usable t ~from ~slot ~commit =
       end;
       true
     end
-    else if not (reaches t ~start:q ~target:from) then begin
-      (* (d) same subgraph but no used path back: still acyclic. *)
-      if commit then mark_edge_used t ~from ~slot om_p;
-      true
-    end
     else begin
-      if commit then t.succ_state.(from).(slot) <- -1;
-      false
+      Obs.incr c_search;
+      if not (reaches t ~start:q ~target:from) then begin
+        (* (d) same subgraph but no used path back: still acyclic. *)
+        if commit then begin
+          Obs.incr c_accept;
+          mark_edge_used t ~from ~slot om_p
+        end;
+        true
+      end
+      else begin
+        if commit then begin
+          Obs.incr c_reject;
+          t.succ_state.(from).(slot) <- -1
+        end;
+        false
+      end
     end
   end
 

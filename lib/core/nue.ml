@@ -3,6 +3,10 @@ module Complete_cdg = Nue_cdg.Complete_cdg
 module Table = Nue_routing.Table
 module Balance = Nue_routing.Balance
 module Prng = Nue_structures.Prng
+module Obs = Nue_obs.Obs
+
+let c_layers = Obs.counter "nue.layers_routed"
+let c_initial_deps = Obs.counter "nue.initial_deps"
 
 type options = {
   strategy : Partition.strategy;
@@ -71,9 +75,12 @@ let route_with_stats ?(options = default_options) ?dests ?sources ~vcs net =
            end
          in
          roots := root :: !roots;
+         Obs.incr c_layers;
          let cdg = Complete_cdg.create net in
          let escape = Escape.prepare cdg ~root ~dests:subset in
-         initial_deps := !initial_deps + Escape.initial_dependencies escape;
+         let deps = Escape.initial_dependencies escape in
+         Obs.add c_initial_deps deps;
+         initial_deps := !initial_deps + deps;
          let weights =
            if options.global_weights then global_weights
            else Array.make nc 1.0

@@ -1,6 +1,13 @@
 module Network = Nue_netgraph.Network
 module Complete_cdg = Nue_cdg.Complete_cdg
 module Fib_heap = Nue_structures.Fib_heap
+module Obs = Nue_obs.Obs
+
+let c_fallbacks = Obs.counter "nue.escape_fallbacks"
+let c_backtracks = Obs.counter "nue.backtracks"
+let c_shortcuts = Obs.counter "nue.shortcuts"
+let c_impasses = Obs.counter "nue.impasse_dests"
+let c_dests = Obs.counter "nue.destinations_routed"
 
 type stats = {
   mutable fallbacks : int;
@@ -198,8 +205,10 @@ let apply_shortcuts st w stats =
       st.routed.(x) && x <> st.dest
       && st.ndist.(w) +. st.weights.(g) < st.ndist.(x)
     then
-      if try_switch st x ~to_channel:g then
-        stats.shortcuts <- stats.shortcuts + 1
+      if try_switch st x ~to_channel:g then begin
+        stats.shortcuts <- stats.shortcuts + 1;
+        Obs.incr c_shortcuts
+      end
   done
 
 let fall_back_to_escape st escape =
@@ -236,9 +245,11 @@ let route_destination cdg ~escape ~weights ~dest ?(use_backtracking = true)
     done;
     !acc
   in
+  Obs.incr c_dests;
   let remaining = ref (islands ()) in
   if !remaining <> [] then begin
     stats.impasse_dests <- stats.impasse_dests + 1;
+    Obs.incr c_impasses;
     if use_backtracking then begin
       let progress = ref true in
       while !remaining <> [] && !progress do
@@ -247,6 +258,7 @@ let route_destination cdg ~escape ~weights ~dest ?(use_backtracking = true)
           (fun w ->
              if (not st.routed.(w)) && solve_island st w then begin
                stats.backtracks <- stats.backtracks + 1;
+               Obs.incr c_backtracks;
                if use_shortcuts then apply_shortcuts st w stats;
                (* The island may unlock further nodes via the normal
                   search. *)
@@ -259,6 +271,7 @@ let route_destination cdg ~escape ~weights ~dest ?(use_backtracking = true)
     end;
     if !remaining <> [] then begin
       stats.fallbacks <- stats.fallbacks + 1;
+      Obs.incr c_fallbacks;
       fall_back_to_escape st escape
     end
   end;

@@ -1,0 +1,88 @@
+type counter = { c_name : string; mutable n : int }
+
+type timer = { t_name : string; mutable total : float; mutable acts : int }
+
+let on = ref false
+
+let enabled () = !on
+
+let enable () = on := true
+
+let disable () = on := false
+
+let clock = ref Sys.time
+
+let set_clock f = clock := f
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; n = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let incr c = if !on then c.n <- c.n + 1
+
+let add c n = if !on then c.n <- c.n + n
+
+let peek c = c.n
+
+let timer name =
+  match Hashtbl.find_opt timers name with
+  | Some t -> t
+  | None ->
+    let t = { t_name = name; total = 0.0; acts = 0 } in
+    Hashtbl.replace timers name t;
+    t
+
+let time t f =
+  if not !on then f ()
+  else begin
+    let t0 = !clock () in
+    let record () =
+      t.total <- t.total +. (!clock () -. t0);
+      t.acts <- t.acts + 1
+    in
+    match f () with
+    | r -> record (); r
+    | exception e -> record (); raise e
+  end
+
+type timer_total = { seconds : float; activations : int }
+
+type snapshot = {
+  counters : (string * int) list;
+  timers : (string * timer_total) list;
+}
+
+let snapshot () =
+  let cs = Hashtbl.fold (fun name c acc -> (name, c.n) :: acc) counters [] in
+  let ts =
+    Hashtbl.fold
+      (fun name t acc ->
+         (name, { seconds = t.total; activations = t.acts }) :: acc)
+      timers []
+  in
+  let by_name (a, _) (b, _) = compare (a : string) b in
+  { counters = List.sort by_name cs; timers = List.sort by_name ts }
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.n <- 0) counters;
+  Hashtbl.iter (fun _ t -> t.total <- 0.0; t.acts <- 0) timers
+
+let find s name =
+  match List.assoc_opt name s.counters with Some v -> v | None -> 0
+
+let find_timer s name =
+  match List.assoc_opt name s.timers with
+  | Some v -> v
+  | None -> { seconds = 0.0; activations = 0 }
+
+(* Silence unused-field warnings: the names are read via the registry
+   keys, but keeping them on the records aids debugger inspection. *)
+let _ = fun (c : counter) (t : timer) -> (c.c_name, t.t_name)

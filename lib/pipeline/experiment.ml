@@ -12,10 +12,19 @@ module Tm = Nue_metrics.Throughput_model
 module Sim = Nue_sim.Sim
 module Traffic = Nue_sim.Traffic
 module Prng = Nue_structures.Prng
+module Obs = Nue_obs.Obs
 
 (* Linking the pipeline must yield the complete registry: the baselines
    register from Nue_routing.Engine's own init, Nue from here. *)
 let () = Nue_core.Nue_engine.ensure_registered ()
+
+(* Nue_obs itself is dependency-free and defaults to [Sys.time]; the
+   pipeline has [unix], so give every linked driver real wall clocks. *)
+let () = Obs.set_clock Unix.gettimeofday
+
+let c_runs = Obs.counter "pipeline.runs"
+let c_paths = Obs.counter "pipeline.paths_computed"
+let c_vls = Obs.counter "pipeline.vls_used"
 
 type prebuilt = {
   pnet : Network.t;
@@ -147,6 +156,12 @@ let run ?(vcs = 8) ?dests ?sources ~engine b =
   let s = spec ~vcs ?dests ?sources b in
   let table, seconds = time (fun () -> Engine.route engine s) in
   let metrics = match table with Ok t -> Some (measure t) | Error _ -> None in
+  Obs.incr c_runs;
+  (match metrics with
+   | Some m ->
+     Obs.add c_paths m.paths.Ps.pairs;
+     Obs.add c_vls m.vls_used
+   | None -> ());
   { engine; vcs; seconds; table; metrics }
 
 let run_all ?vcs b =
@@ -235,6 +250,64 @@ let outcome_to_json o =
     Json.Obj (base @ [ ("applicable", Json.Bool false); ("error", error_to_json e) ])
   | Ok _, None ->
     Json.Obj (base @ [ ("applicable", Json.Bool true) ])
+
+(* A trace snapshot rendered for [--trace] and BENCH_nue.json. The key
+   order is the snapshot's (sorted by name), so the rendering is stable
+   no matter in which order counters were registered or bumped. *)
+let trace_to_json (s : Obs.snapshot) =
+  (* Sort defensively: [Obs.snapshot] emits sorted lists, but the record
+     is transparent, and the rendering must not depend on key order. *)
+  let sort l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  let s = { Obs.counters = sort s.Obs.counters; timers = sort s.Obs.timers } in
+  let c = Obs.find s in
+  let ratio num den =
+    if den = 0 then Json.Null else Json.Float (float_of_int num /. float_of_int den)
+  in
+  let memo_hits = c "cdg.memo.hit_blocked" + c "cdg.memo.hit_used" in
+  let heap_ops =
+    c "heap.inserts" + c "heap.extracts" + c "heap.decrease_keys"
+  in
+  Json.Obj
+    [ ("counters",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.Obs.counters));
+      ("timers",
+       Json.Obj
+         (List.map
+            (fun (k, (t : Obs.timer_total)) ->
+               (k,
+                Json.Obj
+                  [ ("seconds", Json.Float t.Obs.seconds);
+                    ("activations", Json.Int t.Obs.activations) ]))
+            s.Obs.timers));
+      ("derived",
+       Json.Obj
+         [ ("omega_memo_hit_rate", ratio memo_hits (c "cdg.usable_calls"));
+           ("cdg_search_rate",
+            ratio (c "cdg.memo.miss_search") (c "cdg.usable_calls"));
+           ("cdg_accept_rate",
+            ratio (c "cdg.edges_accepted")
+              (c "cdg.edges_accepted" + c "cdg.edges_rejected"));
+           ("heap_ops", Json.Int heap_ops);
+           ("heap_cut_rate", ratio (c "heap.cuts") (c "heap.decrease_keys"));
+           ("pk_reorder_rate", ratio (c "pk.add_reorder") (c "pk.add_calls"))
+         ]) ]
+
+let trace_snapshot () = Obs.snapshot ()
+
+let with_trace f =
+  let was = Obs.enabled () in
+  Obs.enable ();
+  Obs.reset ();
+  let finish () =
+    let s = Obs.snapshot () in
+    if not was then Obs.disable ();
+    s
+  in
+  match f () with
+  | r -> (r, finish ())
+  | exception e ->
+    ignore (finish ());
+    raise e
 
 let sim_to_json (o : Sim.outcome) =
   Json.Obj

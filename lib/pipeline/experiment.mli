@@ -150,3 +150,24 @@ val outcome_to_json : outcome -> Json.t
     path/VL/throughput metrics. *)
 
 val sim_to_json : Nue_sim.Sim.outcome -> Json.t
+
+(** {1 Tracing (the observability layer)}
+
+    Linking the pipeline installs [Unix.gettimeofday] as
+    {!Nue_obs.Obs}'s clock, so engine timers report wall time. *)
+
+val with_trace : (unit -> 'a) -> 'a * Nue_obs.Obs.snapshot
+(** Run a thunk with instrumentation enabled (resetting all counters
+    first) and return its result together with the final snapshot.
+    Restores the previous enabled/disabled state afterwards. *)
+
+val trace_snapshot : unit -> Nue_obs.Obs.snapshot
+(** The current counter/timer state (shorthand for [Obs.snapshot]). *)
+
+val trace_to_json : Nue_obs.Obs.snapshot -> Json.t
+(** Render a snapshot as [{"counters": ..., "timers": ..., "derived":
+    ...}]. The derived section reports the paper's headline
+    instrumentation quantities — omega-memoization hit rate
+    (Section 4.6.1), CDG search/accept rates, total heap ops and
+    cascading-cut rate, and the Pearce-Kelly reorder rate. Keys are
+    sorted by name, so output is stable under registration order. *)

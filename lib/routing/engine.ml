@@ -1,6 +1,10 @@
 module Network = Nue_netgraph.Network
 module Topology = Nue_netgraph.Topology
 module Fault = Nue_netgraph.Fault
+module Obs = Nue_obs.Obs
+
+let c_routes_ok = Obs.counter "engine.routes_ok"
+let c_routes_err = Obs.counter "engine.routes_error"
 
 type spec = {
   net : Network.t;
@@ -41,21 +45,34 @@ end
 let registry : (module ENGINE) list ref = ref []
 
 (* Wrap an engine so no caller can observe an exception or an
-   un-validated spec: the matrix guarantee (structured errors only). *)
+   un-validated spec: the matrix guarantee (structured errors only).
+   The wrapper is also where every engine's wall time is accumulated
+   (timer ["engine.<name>"]), so per-engine timings come for free with
+   registration. *)
 let safety_wrap (module E : ENGINE) : (module ENGINE) =
   (module struct
     let name = E.name
     let capabilities = E.capabilities
+    let timer = Obs.timer ("engine." ^ E.name)
 
     let route s =
       if s.vcs < 1 then
         Error (Engine_error.Invalid_spec "vcs must be >= 1")
-      else
-        match E.route s with
-        | r -> r
-        | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
-        | exception e ->
-          Error (Engine_error.Internal (name ^ ": " ^ Printexc.to_string e))
+      else begin
+        let result =
+          Obs.time timer (fun () ->
+              match E.route s with
+              | r -> r
+              | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+              | exception e ->
+                Error
+                  (Engine_error.Internal (name ^ ": " ^ Printexc.to_string e)))
+        in
+        (match result with
+         | Ok _ -> Obs.incr c_routes_ok
+         | Error _ -> Obs.incr c_routes_err);
+        result
+      end
   end)
 
 let register e =

@@ -32,6 +32,10 @@ let route_structured ~k ~n ?dests ?sources net =
       match dests with Some d -> d | None -> Network.terminals net
     in
     let nn = Network.num_nodes net in
+    (* The up*/down* channels are determined by the address arithmetic;
+       if one is missing the tree has failed links and the deterministic
+       routing has no alternative path to offer. *)
+    let missing_channel = ref false in
     let next_channel =
       Array.map
         (fun dest ->
@@ -49,7 +53,7 @@ let route_structured ~k ~n ?dests ?sources net =
                  if Network.is_terminal net dest then
                    match Network.find_channel net node dest with
                    | Some c -> nexts.(node) <- c
-                   | None -> ()
+                   | None -> missing_channel := true
                end
                else begin
                  let l = level node and w = word node in
@@ -84,15 +88,20 @@ let route_structured ~k ~n ?dests ?sources net =
                  in
                  match Network.find_channel net node target with
                  | Some c -> nexts.(node) <- c
-                 | None -> ()
+                 | None -> missing_channel := true
                end
            done;
            nexts)
         dests
     in
-    Ok
-      (Table.make ~net ~algorithm:"fattree" ~dests ~next_channel
-         ~vl:Table.All_zero ~num_vls:1 ())
+    if !missing_channel then
+      Error
+        (Engine_error.Unroutable
+           "fattree: failed links break the deterministic up*/down* paths")
+    else
+      Ok
+        (Table.make ~net ~algorithm:"fattree" ~dests ~next_channel
+           ~vl:Table.All_zero ~num_vls:1 ())
   end
 
 let route ~k ~n ?dests ?sources net =

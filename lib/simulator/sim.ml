@@ -1,5 +1,11 @@
 module Network = Nue_netgraph.Network
 module Table = Nue_routing.Table
+module Obs = Nue_obs.Obs
+
+let c_flits = Obs.counter "sim.flit_transmits"
+let c_delivered = Obs.counter "sim.packets_delivered"
+let c_cycles = Obs.counter "sim.cycles"
+let c_deadlocks = Obs.counter "sim.deadlocks"
 
 type config = {
   buffer_flits : int;
@@ -128,6 +134,7 @@ let run ?(config = default_config) (table : Table.t) ~traffic =
     go 0
   in
   let transmit c vl pid tail =
+    Obs.incr c_flits;
     credits.(unit_id c vl) <- credits.(unit_id c vl) - 1;
     owner.(unit_id c vl) <- (if tail then -1 else pid);
     Queue.add
@@ -210,6 +217,7 @@ let run ?(config = default_config) (table : Table.t) ~traffic =
     let pid = flit / 2 in
     let p = packets.(pid) in
     if flit land 1 = 1 then begin
+      Obs.incr c_delivered;
       incr delivered_packets;
       delivered_bytes := !delivered_bytes + p.bytes;
       let lat = float_of_int (!cycle - p.inject_cycle) in
@@ -250,6 +258,8 @@ let run ?(config = default_config) (table : Table.t) ~traffic =
     incr cycle
   done;
   let cycles = max 1 !cycle in
+  Obs.add c_cycles cycles;
+  if !deadlocked then Obs.incr c_deadlocks;
   (* One flit per cycle per link at [link_gbs] implies the cycle time. *)
   let seconds =
     float_of_int cycles *. float_of_int config.flit_bytes

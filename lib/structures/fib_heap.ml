@@ -5,6 +5,14 @@
    extract-min links trees of equal degree; decrease-key cuts nodes and
    cascades through marked ancestors. *)
 
+module Obs = Nue_obs.Obs
+
+let c_insert = Obs.counter "heap.inserts"
+let c_extract = Obs.counter "heap.extracts"
+let c_decrease = Obs.counter "heap.decrease_keys"
+let c_cut = Obs.counter "heap.cuts"
+let c_link = Obs.counter "heap.links"
+
 type 'a node = {
   mutable key : float;
   value : 'a;
@@ -65,6 +73,7 @@ let insert t ~key v =
   in
   add_root t n;
   t.count <- t.count + 1;
+  Obs.incr c_insert;
   n
 
 let find_min t = t.min_root
@@ -72,6 +81,7 @@ let find_min t = t.min_root
 (* Make [child] a child of [root]; both must currently be roots and
    [child] must already be unlinked from the root list. *)
 let link ~root ~child =
+  Obs.incr c_link;
   child.parent <- Some root;
   child.marked <- false;
   (match root.child with
@@ -166,9 +176,11 @@ let extract_min t =
     m.in_heap <- false;
     t.count <- t.count - 1;
     consolidate t;
+    Obs.incr c_extract;
     Some (m.value, m.key)
 
 let cut t n parent =
+  Obs.incr c_cut;
   (* Remove n from parent's child list and make it a root. *)
   if n.right == n then parent.child <- None
   else begin
@@ -195,6 +207,7 @@ let rec cascading_cut t n =
 let decrease_key t n k =
   if not n.in_heap then invalid_arg "Fib_heap.decrease_key: node not in heap";
   if k > n.key then invalid_arg "Fib_heap.decrease_key: key increase";
+  Obs.incr c_decrease;
   n.key <- k;
   (match n.parent with
    | Some p when k < p.key ->

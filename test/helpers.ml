@@ -3,6 +3,7 @@
 module Network = Nue_netgraph.Network
 module Topology = Nue_netgraph.Topology
 module Prng = Nue_structures.Prng
+module Experiment = Nue_pipeline.Experiment
 
 (* The paper's running example (Fig. 2a): a 5-node ring with a shortcut
    between n3 and n5. Node ids 0..4 stand for n1..n5; [with_terminals]
@@ -54,6 +55,33 @@ let line n =
   Network.Builder.build b
 
 let small_torus () = Topology.torus3d ~dims:(3, 3, 3) ~terminals_per_switch:2 ()
+
+(* The 4x4x3 torus used throughout the Torus-2QoS and fault tests. *)
+let torus443 ?(terminals = 2) () =
+  Topology.torus3d ~dims:(4, 4, 3) ~terminals_per_switch:terminals ()
+
+(* One switch with two attached terminals: the smallest network with a
+   routable terminal pair (simulator and metrics fixtures). *)
+let single_switch_pair () =
+  let b = Network.Builder.create () in
+  let s = Network.Builder.add_switch b in
+  let t1 = Network.Builder.add_terminal b in
+  let t2 = Network.Builder.add_terminal b in
+  Network.Builder.connect b t1 s;
+  Network.Builder.connect b t2 s;
+  Network.Builder.build b
+
+(* A built random-topology experiment, the setup the engine/pipeline
+   tests kept hand-wiring. Defaults match the historical "random-12"
+   fixture; [dense] is the cycle-rich 16-switch variant that needs more
+   than one virtual layer. *)
+let random_built ?(seed = 7) ?(switches = 12) ?(links = 30) ?(terminals = 2)
+    ?(faults = Experiment.No_faults) () =
+  Experiment.build
+    (Experiment.setup ~faults ~seed
+       (Experiment.Random { switches; links; terminals }))
+
+let dense_random_built () = random_built ~seed:3 ~switches:16 ~links:48 ()
 
 let random_net ?(seed = 42) ?(switches = 20) ?(links = 50) ?(terminals = 2) ()
     =

@@ -148,11 +148,7 @@ let matrix_has_positive_cases () =
 
 let dfsssp_structured_budget () =
   (* A random network dense in cycles: one layer is not enough. *)
-  let built =
-    Experiment.build
-      (Experiment.setup ~seed:3
-         (Experiment.Random { switches = 16; links = 48; terminals = 2 }))
-  in
+  let built = Helpers.dense_random_built () in
   match (Experiment.run ~vcs:1 ~engine:"dfsssp" built).Experiment.table with
   | Error (Engine_error.Vc_budget_exceeded { needed; available }) ->
     Alcotest.(check int) "available" 1 available;
@@ -168,11 +164,7 @@ let torus2qos_mismatch_not_raise () =
   | Ok _ -> Alcotest.fail "torus2qos routed without torus metadata"
 
 let legacy_wrappers_still_string () =
-  let built =
-    Experiment.build
-      (Experiment.setup ~seed:3
-         (Experiment.Random { switches = 16; links = 48; terminals = 2 }))
-  in
+  let built = Helpers.dense_random_built () in
   let net = built.Experiment.net in
   (match Nue_routing.Dfsssp.route ~max_vls:1 net with
    | Error msg -> Alcotest.(check bool) "dfsssp msg" true (String.length msg > 0)
@@ -184,11 +176,7 @@ let legacy_wrappers_still_string () =
 (* {1 Experiment pipeline} *)
 
 let run_all_covers_registry () =
-  let built =
-    Experiment.build
-      (Experiment.setup ~seed:7
-         (Experiment.Random { switches = 12; links = 30; terminals = 2 }))
-  in
+  let built = Helpers.random_built () in
   let outcomes = Experiment.run_all ~vcs:4 built in
   Alcotest.(check (list string)) "one outcome per engine, registry order"
     (Engine.names ())
@@ -243,11 +231,7 @@ let contains ~needle hay =
   nl = 0 || go 0
 
 let json_outcome_shape () =
-  let built =
-    Experiment.build
-      (Experiment.setup ~seed:7
-         (Experiment.Random { switches = 12; links = 30; terminals = 2 }))
-  in
+  let built = Helpers.random_built () in
   let ok = Experiment.outcome_to_json (Experiment.run ~vcs:4 ~engine:"nue" built) in
   let s = Json.to_string ok in
   List.iter

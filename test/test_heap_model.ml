@@ -1,0 +1,219 @@
+(* Model-based test for the Fibonacci heap: random operation sequences
+   (insert / extract-min / decrease-key / remove) are mirrored into a
+   naive sorted-association-list reference; after every step the heap
+   must agree with the model on size and minimum key, and draining at
+   the end must yield the model's keys in sorted order.
+
+   A dedicated stress exercises decrease-key after consolidation, when
+   nodes sit deep in the linked trees and cascading cuts do real work. *)
+
+module Fib_heap = Nue_structures.Fib_heap
+module Prng = Nue_structures.Prng
+module Obs = Nue_obs.Obs
+
+let test_case = Alcotest.test_case
+
+(* Reference model: a list of (id, key), kept unsorted; min and removal
+   are linear scans. ids are unique so payloads are checkable. *)
+module Model = struct
+  type t = (int * float) list ref
+
+  let create () : t = ref []
+  let insert (m : t) id key = m := (id, key) :: !m
+  let size (m : t) = List.length !m
+
+  let min_key (m : t) =
+    match !m with
+    | [] -> None
+    | (_, k0) :: rest ->
+      Some (List.fold_left (fun acc (_, k) -> min acc k) k0 rest)
+
+  let remove (m : t) id = m := List.remove_assoc id !m
+
+  let set_key (m : t) id key =
+    m := (id, key) :: List.remove_assoc id !m
+
+  let key (m : t) id = List.assoc id !m
+  let sorted_keys (m : t) = List.sort compare (List.map snd !m)
+end
+
+let check_agreement step heap model =
+  Alcotest.(check int)
+    (Printf.sprintf "size @ step %d" step)
+    (Model.size model) (Fib_heap.size heap);
+  let model_min = Model.min_key model in
+  let heap_min =
+    Option.map (fun n -> Fib_heap.key n) (Fib_heap.find_min heap)
+  in
+  Alcotest.(check (option (float 0.0)))
+    (Printf.sprintf "min @ step %d" step)
+    model_min heap_min
+
+(* Drain both; keys must come out equal and nondecreasing, and each
+   extracted payload's key must match what the model recorded for it. *)
+let drain_and_compare heap model =
+  let expected = Model.sorted_keys model in
+  let rec go acc =
+    match Fib_heap.extract_min heap with
+    | None -> List.rev acc
+    | Some (payload, k) ->
+      let id = int_of_float payload in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "payload %d key" id)
+        (Model.key model id) k;
+      Model.remove model id;
+      go (k :: acc)
+  in
+  let got = go [] in
+  Alcotest.(check (list (float 0.0))) "drained keys sorted" expected got;
+  Alcotest.(check int) "model emptied" 0 (Model.size model);
+  Alcotest.(check bool) "heap emptied" true (Fib_heap.is_empty heap)
+
+let random_ops_vs_model () =
+  let prng = Prng.create 2026 in
+  let runs = 40 and steps = 120 in
+  for run = 1 to runs do
+    let heap = Fib_heap.create () in
+    let model = Model.create () in
+    (* live node handles by id, for decrease_key/remove targets *)
+    let handles : (int, float Fib_heap.node ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let live = ref [] in
+    let next_id = ref 0 in
+    let fresh_key () = float_of_int (Prng.int prng 1000) /. 8.0 in
+    let pick_live () =
+      match !live with
+      | [] -> None
+      | ids -> Some (List.nth ids (Prng.int prng (List.length ids)))
+    in
+    for step = 1 to steps do
+      let roll = Prng.int prng 100 in
+      if roll < 45 || !live = [] then begin
+        (* insert *)
+        let id = !next_id in
+        incr next_id;
+        let k = fresh_key () in
+        let n = Fib_heap.insert heap ~key:k (float_of_int id) in
+        ignore (Fib_heap.value n);
+        Hashtbl.replace handles id (ref n);
+        live := id :: !live;
+        Model.insert model id k
+      end
+      else if roll < 70 then begin
+        (* extract-min: payload identifies which id left the heap *)
+        match Fib_heap.extract_min heap with
+        | None -> Alcotest.fail "heap empty but model not"
+        | Some (payload, k) ->
+          let id = int_of_float payload in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "run %d step %d extract key" run step)
+            (Model.key model id) k;
+          Model.remove model id;
+          live := List.filter (fun x -> x <> id) !live;
+          Hashtbl.remove handles id
+      end
+      else if roll < 90 then begin
+        (* decrease-key on a random live node *)
+        match pick_live () with
+        | None -> ()
+        | Some id ->
+          let n = !(Hashtbl.find handles id) in
+          let cur = Fib_heap.key n in
+          let k' = cur -. (float_of_int (Prng.int prng 500) /. 16.0) in
+          Fib_heap.decrease_key heap n k';
+          Model.set_key model id k'
+      end
+      else begin
+        (* remove a random live node *)
+        match pick_live () with
+        | None -> ()
+        | Some id ->
+          let n = !(Hashtbl.find handles id) in
+          Fib_heap.remove heap n;
+          Alcotest.(check bool) "removed node not mem" false (Fib_heap.mem n);
+          Model.remove model id;
+          live := List.filter (fun x -> x <> id) !live;
+          Hashtbl.remove handles id
+      end;
+      check_agreement step heap model
+    done;
+    drain_and_compare heap model
+  done
+
+(* Cascading-cut stress: build a consolidated heap (one extract forces
+   the root list into binomial-like trees), then decrease-key many
+   interior nodes below the current minimum. Each decrease must
+   surface as the new find_min, and the final drain must be sorted. *)
+let cascading_cut_stress () =
+  Obs.disable ();
+  Obs.reset ();
+  Obs.enable ();
+  let c_cuts = Obs.counter "heap.cuts" in
+  let heap = Fib_heap.create () in
+  let model = Model.create () in
+  let n = 256 in
+  let handles = Array.init n (fun i ->
+      let k = float_of_int ((i * 37) mod n) +. 1000.0 in
+      Model.insert model i k;
+      Fib_heap.insert heap ~key:k (float_of_int i))
+  in
+  (* Consolidate: extract the single minimum so the remaining nodes get
+     linked into trees with real parent chains. *)
+  (match Fib_heap.extract_min heap with
+   | Some (payload, _) -> Model.remove model (int_of_float payload)
+   | None -> Alcotest.fail "empty after 256 inserts");
+  (* Decrease 128 scattered nodes, each strictly below the global min so
+     every one must become the heap minimum; deep nodes trigger cuts and
+     cascading cuts. *)
+  let next_min = ref 500.0 in
+  let prng = Prng.create 7 in
+  let attempts = ref 0 in
+  while !attempts < 128 do
+    let id = Prng.int prng n in
+    let node = handles.(id) in
+    if Fib_heap.mem node then begin
+      incr attempts;
+      next_min := !next_min -. 1.0;
+      Fib_heap.decrease_key heap node !next_min;
+      Model.set_key model id !next_min;
+      (match Fib_heap.find_min heap with
+       | Some m ->
+         Alcotest.(check (float 0.0))
+           (Printf.sprintf "decrease %d becomes min" !attempts)
+           !next_min (Fib_heap.key m)
+       | None -> Alcotest.fail "heap empty mid-stress");
+      (* Interleave extractions to re-consolidate between decreases. *)
+      if !attempts mod 16 = 0 then
+        match Fib_heap.extract_min heap with
+        | Some (payload, k) ->
+          let eid = int_of_float payload in
+          Alcotest.(check (float 0.0)) "interleaved extract"
+            (Model.key model eid) k;
+          Model.remove model eid
+        | None -> Alcotest.fail "heap drained early"
+    end
+  done;
+  (* The structure must actually have been stressed: decrease-keys on
+     interior nodes of consolidated trees perform cuts. *)
+  Alcotest.(check bool) "cuts happened" true (Obs.peek c_cuts > 0);
+  drain_and_compare heap model;
+  Obs.disable ();
+  Obs.reset ()
+
+let decrease_key_validation () =
+  let heap = Fib_heap.create () in
+  let n = Fib_heap.insert heap ~key:5.0 () in
+  (match Fib_heap.decrease_key heap n 9.0 with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "increasing key accepted");
+  ignore (Fib_heap.extract_min heap);
+  (match Fib_heap.decrease_key heap n 1.0 with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "decrease on extracted node accepted")
+
+let suite =
+  [ ("heap:model",
+     [ test_case "random ops vs sorted-list model" `Quick random_ops_vs_model;
+       test_case "cascading-cut stress" `Quick cascading_cut_stress;
+       test_case "decrease-key validation" `Quick decrease_key_validation ]) ]

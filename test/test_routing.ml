@@ -406,7 +406,7 @@ let lash_budget_failure () =
 (* {1 Torus-2QoS} *)
 
 let torus2qos_intact () =
-  let torus = Topology.torus3d ~dims:(4, 4, 3) ~terminals_per_switch:2 () in
+  let torus = Helpers.torus443 () in
   let remap = Fault.identity torus.Topology.net in
   match Torus2qos.route ~torus ~remap () with
   | Error e -> Alcotest.fail e
@@ -419,14 +419,14 @@ let torus2qos_intact () =
      | None -> Alcotest.fail "unreachable")
 
 let torus2qos_single_failure () =
-  let torus = Topology.torus3d ~dims:(4, 4, 3) ~terminals_per_switch:2 () in
+  let torus = Helpers.torus443 () in
   let remap = Fault.remove_switches torus.Topology.net [ 5 ] in
   match Torus2qos.route ~torus ~remap () with
   | Error e -> Alcotest.fail e
   | Ok table -> Helpers.check_table_valid "torus2qos/1-switch-fault" table
 
 let torus2qos_link_failure () =
-  let torus = Topology.torus3d ~dims:(4, 4, 3) ~terminals_per_switch:2 () in
+  let torus = Helpers.torus443 () in
   let remap = Fault.remove_links torus.Topology.net [ (0, 1) ] in
   match Torus2qos.route ~torus ~remap () with
   | Error e -> Alcotest.fail e

@@ -13,13 +13,7 @@ let test_case = Alcotest.test_case
 
 let two_terminals () =
   (* Two terminals on one switch: a single message crosses two links. *)
-  let b = Network.Builder.create () in
-  let s = Network.Builder.add_switch b in
-  let t1 = Network.Builder.add_terminal b in
-  let t2 = Network.Builder.add_terminal b in
-  Network.Builder.connect b t1 s;
-  Network.Builder.connect b t2 s;
-  Network.Builder.build b
+  Helpers.single_switch_pair ()
 
 let single_message_delivery () =
   let net = two_terminals () in

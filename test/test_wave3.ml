@@ -36,13 +36,7 @@ let metrics_hypercube () =
 let metrics_terminal_distance () =
   (* Two terminals on one switch: distance 2; that is also the
      average. *)
-  let b = Network.Builder.create () in
-  let s = Network.Builder.add_switch b in
-  let t1 = Network.Builder.add_terminal b in
-  let t2 = Network.Builder.add_terminal b in
-  Network.Builder.connect b t1 s;
-  Network.Builder.connect b t2 s;
-  let net = Network.Builder.build b in
+  let net = Helpers.single_switch_pair () in
   let m = Graph_metrics.analyze net in
   Alcotest.(check (float 1e-9)) "avg terminal distance" 2.0
     m.Graph_metrics.avg_terminal_distance
