@@ -11,8 +11,9 @@
 
 let usage () =
   print_endline
-    "experiments: tab1 topo-stats trace fig1a fig1b fig9 sec51 fig10 fig11\n\
-    \             abl-partition abl-root abl-opt abl-weights abl-impasse bechamel\n\
+    "experiments: tab1 topo-stats trace telemetry fig1a fig1b fig9 sec51 fig10\n\
+    \             fig11 abl-partition abl-root abl-opt abl-weights abl-impasse\n\
+    \             bechamel\n\
      flags: --full (paper-scale), --sim (flit-level simulation),\n\
     \        --no-sim, --topos N (fig9 topology count)\n\
      every run writes machine-readable results to BENCH_nue.json"
@@ -38,8 +39,8 @@ let () =
       args
   in
   let wanted = if wanted = [] then
-      [ "tab1"; "trace"; "fig1a"; "fig9"; "fig10"; "fig11"; "abl-partition";
-        "abl-root"; "abl-opt"; "abl-weights"; "abl-impasse" ]
+      [ "tab1"; "trace"; "telemetry"; "fig1a"; "fig9"; "fig10"; "fig11";
+        "abl-partition"; "abl-root"; "abl-opt"; "abl-weights"; "abl-impasse" ]
     else wanted
   in
   let has x = List.mem x wanted in
@@ -49,6 +50,7 @@ let () =
       (if full then "paper" else "reduced");
     if has "tab1" then Tab1.run ();
     if has "trace" then Trace_bench.run ~full ();
+    if has "telemetry" then Telemetry_bench.run ~full ();
     if has "topo-stats" then Topostats.run ();
     if has "fig1a" || has "fig1b" || has "fig1" then
       (* fig1a and fig1b come from the same runs. *)

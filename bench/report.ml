@@ -17,7 +17,7 @@ let add name v =
 let write () =
   let report =
     Json.Obj
-      [ ("schema", Json.Str "nue-bench/1");
+      [ ("schema", Json.Str "nue-bench/2");
         ("generated_unix_time", Json.Float (Unix.gettimeofday ()));
         ("experiments", Json.Obj (List.rev !entries)) ]
   in

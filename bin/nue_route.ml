@@ -246,19 +246,60 @@ let route_cmd =
   Cmd.v (Cmd.info "route" ~doc:"Route a topology and verify the result")
     Term.(const run $ build_t $ algorithm_t $ vcs_t $ trace_t $ format_t)
 
+let print_telemetry (t : Sim.telemetry) =
+  let module H = Nue_metrics.Histogram in
+  Printf.printf
+    "telemetry: %d samples every %d cycles (%d dropped)\n"
+    (Array.length t.Sim.samples) t.Sim.sample_every t.Sim.dropped_samples;
+  Printf.printf
+    "  link utilization: peak %.3f on channel %d\n"
+    t.Sim.peak_link_utilization t.Sim.peak_link;
+  Printf.printf
+    "  latency: p50 %.0f p95 %.0f p99 %.0f max %.0f cycles (%d packets)\n"
+    (H.percentile t.Sim.latency 0.50)
+    (H.percentile t.Sim.latency 0.95)
+    (H.percentile t.Sim.latency 0.99)
+    (H.max_value t.Sim.latency) (H.count t.Sim.latency);
+  if t.Sim.deadlock_wait_cycle <> [] then begin
+    Printf.printf "  deadlock wait cycle:";
+    List.iter
+      (fun (c, vl) -> Printf.printf " (ch %d, vl %d)" c vl)
+      t.Sim.deadlock_wait_cycle;
+    print_newline ()
+  end
+
 let sim_cmd =
-  let run built algorithm vcs message_bytes trace format =
+  let run built algorithm vcs message_bytes trace telemetry_path format =
+    let telemetry_on = telemetry_path <> "" in
     (* The trace window covers routing and the flit simulation, so the
-       snapshot carries both the CDG/heap counters and sim.* counters. *)
+       snapshot carries both the CDG/heap counters and sim.* counters.
+       With --telemetry the same window is also spanned: routing spans
+       are tick-stamped, the sim span is cycle-stamped. *)
+    let body () =
+      let o = Experiment.run ~vcs ~engine:algorithm built in
+      let sim =
+        match o.Experiment.table with
+        | Ok table ->
+          if telemetry_on then
+            let out, telem =
+              Experiment.simulate_with_telemetry ~message_bytes table
+            in
+            Some (out, Some telem)
+          else Some (Experiment.simulate ~message_bytes table, None)
+        | Error _ -> None
+      in
+      (o, sim)
+    in
     let (o, sim), snap =
       maybe_trace trace (fun () ->
-          let o = Experiment.run ~vcs ~engine:algorithm built in
-          let sim =
-            match o.Experiment.table with
-            | Ok table -> Some (Experiment.simulate ~message_bytes table)
-            | Error _ -> None
-          in
-          (o, sim))
+          if telemetry_on then begin
+            let r, _events = Experiment.with_spans body in
+            let oc = open_out telemetry_path in
+            output_string oc (Nue_obs.Span.to_chrome_string ());
+            close_out oc;
+            r
+          end
+          else body ())
     in
     match (o.Experiment.table, sim, format) with
     | Error e, _, `Json ->
@@ -270,13 +311,19 @@ let sim_cmd =
       Printf.eprintf "routing failed: %s\n" (Engine_error.to_string e);
       exit 1
     | Ok _, None, _ -> assert false
-    | Ok _, Some out, _ ->
+    | Ok _, Some (out, telem), _ ->
       (match format with
        | `Json ->
+         let telem_extra =
+           match telem with
+           | None -> []
+           | Some t -> [ ("telemetry", Experiment.telemetry_to_json t) ]
+         in
          print_endline
            (Json.to_string_pretty
               (json_payload built o
-                 ([ ("sim", Experiment.sim_to_json out) ] @ trace_extra snap)))
+                 ([ ("sim", Experiment.sim_to_json out) ]
+                  @ telem_extra @ trace_extra snap)))
        | _ ->
          let _ = report_text built o in
          Printf.printf
@@ -285,6 +332,12 @@ let sim_cmd =
            out.Sim.delivered_packets out.Sim.total_packets
            out.Sim.cycles out.Sim.deadlock
            out.Sim.aggregate_gbs out.Sim.avg_packet_latency;
+         (match telem with
+          | None -> ()
+          | Some t ->
+            print_telemetry t;
+            Printf.printf "wrote %s\nspan flamegraph:\n%s" telemetry_path
+              (Nue_obs.Span.flamegraph ()));
          print_trace snap);
       if out.Sim.deadlock then exit 3;
       exit (exit_code_of o)
@@ -293,9 +346,19 @@ let sim_cmd =
     Arg.(value & opt int 2048
          & info [ "message-bytes" ] ~docv:"B" ~doc:"All-to-all message size.")
   in
+  let telemetry_t =
+    Arg.(value & opt string ""
+         & info [ "telemetry" ] ~docv:"PATH"
+             ~doc:"Enable the span tracer and the simulator telemetry sink, \
+                   and write a Chrome trace-event JSON file here (load it in \
+                   Perfetto or chrome://tracing). Adds occupancy/latency/\
+                   utilization summaries to the output ($(b,telemetry) \
+                   object in json mode, a summary plus a span flamegraph in \
+                   text mode).")
+  in
   Cmd.v (Cmd.info "sim" ~doc:"Route and run a flit-level all-to-all simulation")
     Term.(const run $ build_t $ algorithm_t $ vcs_t $ bytes_t $ trace_t
-          $ format_t)
+          $ telemetry_t $ format_t)
 
 let dump_cmd =
   let run built algorithm vcs switch =

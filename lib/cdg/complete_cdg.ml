@@ -1,5 +1,6 @@
 module Network = Nue_netgraph.Network
 module Obs = Nue_obs.Obs
+module Span = Nue_obs.Span
 
 (* Section 4.6.1 effectiveness counters: the omega labels memoize the
    acyclicity question, so "hits" are calls answered from stored state
@@ -217,7 +218,26 @@ let usable t ~from ~slot ~commit =
     end
     else begin
       Obs.incr c_search;
-      if not (reaches t ~start:q ~target:from) then begin
+      (* The omega recheck: both endpoints carry the same subgraph id,
+         so a used-edge DFS must decide acyclicity (condition d). One
+         span per recheck; the visited-count delta is its payload. *)
+      let found =
+        if Span.enabled () then begin
+          let span =
+            Span.enter "cdg.omega_recheck"
+              ~args:[ ("from", Span.Int from); ("to", Span.Int q) ]
+          in
+          let v0 = Obs.peek c_visited in
+          let found = reaches t ~start:q ~target:from in
+          Span.exit span
+            ~args:
+              [ ("cycle_found", Span.Bool found);
+                ("visited", Span.Int (Obs.peek c_visited - v0)) ];
+          found
+        end
+        else reaches t ~start:q ~target:from
+      in
+      if not found then begin
         (* (d) same subgraph but no used path back: still acyclic. *)
         if commit then begin
           Obs.incr c_accept;

@@ -4,6 +4,7 @@ module Table = Nue_routing.Table
 module Balance = Nue_routing.Balance
 module Prng = Nue_structures.Prng
 module Obs = Nue_obs.Obs
+module Span = Nue_obs.Span
 
 let c_layers = Obs.counter "nue.layers_routed"
 let c_initial_deps = Obs.counter "nue.initial_deps"
@@ -76,30 +77,47 @@ let route_with_stats ?(options = default_options) ?dests ?sources ~vcs net =
          in
          roots := root :: !roots;
          Obs.incr c_layers;
-         let cdg = Complete_cdg.create net in
-         let escape = Escape.prepare cdg ~root ~dests:subset in
-         let deps = Escape.initial_dependencies escape in
-         Obs.add c_initial_deps deps;
-         initial_deps := !initial_deps + deps;
-         let weights =
-           if options.global_weights then global_weights
-           else Array.make nc 1.0
-         in
-         Array.iter
-           (fun dest ->
-              let nexts =
-                Nue_dijkstra.route_destination cdg ~escape ~weights ~dest
-                  ~use_backtracking:options.use_backtracking
-                  ~use_shortcuts:options.use_shortcuts ~stats ()
+         Span.with_ "nue.layer"
+           ~args:
+             [ ("layer", Span.Int layer);
+               ("root", Span.Int root);
+               ("dests", Span.Int (Array.length subset)) ]
+           (fun () ->
+              let cdg = Complete_cdg.create net in
+              let escape = Escape.prepare cdg ~root ~dests:subset in
+              let deps = Escape.initial_dependencies escape in
+              Obs.add c_initial_deps deps;
+              initial_deps := !initial_deps + deps;
+              let weights =
+                if options.global_weights then global_weights
+                else Array.make nc 1.0
               in
-              let pos = dest_pos.(dest) in
-              Array.blit nexts 0 next_channel.(pos) 0 nn;
-              layer_of_dest.(pos) <- layer;
-              Balance.update_weights ~scale net ~weights ~nexts ~dest ~sources;
-              if options.global_weights && not (weights == global_weights)
-              then assert false)
-           subset;
-         cycle_searches := !cycle_searches + Complete_cdg.cycle_searches cdg
+              Array.iter
+                (fun dest ->
+                   let nexts =
+                     (* One span per destination-routing round (one
+                        constrained-Dijkstra tree, Algorithm 1). The
+                        fallback/backtrack annotations land inside as
+                        instant events from Nue_dijkstra. *)
+                     Span.with_ "nue.dest"
+                       ~args:
+                         [ ("dest", Span.Int dest);
+                           ("layer", Span.Int layer) ]
+                       (fun () ->
+                          Nue_dijkstra.route_destination cdg ~escape ~weights
+                            ~dest ~use_backtracking:options.use_backtracking
+                            ~use_shortcuts:options.use_shortcuts ~stats ())
+                   in
+                   let pos = dest_pos.(dest) in
+                   Array.blit nexts 0 next_channel.(pos) 0 nn;
+                   layer_of_dest.(pos) <- layer;
+                   Balance.update_weights ~scale net ~weights ~nexts ~dest
+                     ~sources;
+                   if options.global_weights && not (weights == global_weights)
+                   then assert false)
+                subset;
+              cycle_searches :=
+                !cycle_searches + Complete_cdg.cycle_searches cdg)
        end)
     subsets;
   let run =

@@ -2,6 +2,7 @@ module Network = Nue_netgraph.Network
 module Complete_cdg = Nue_cdg.Complete_cdg
 module Fib_heap = Nue_structures.Fib_heap
 module Obs = Nue_obs.Obs
+module Span = Nue_obs.Span
 
 let c_fallbacks = Obs.counter "nue.escape_fallbacks"
 let c_backtracks = Obs.counter "nue.backtracks"
@@ -250,6 +251,11 @@ let route_destination cdg ~escape ~weights ~dest ?(use_backtracking = true)
   if !remaining <> [] then begin
     stats.impasse_dests <- stats.impasse_dests + 1;
     Obs.incr c_impasses;
+    if Span.enabled () then
+      Span.instant "nue.impasse"
+        ~args:
+          [ ("dest", Span.Int dest);
+            ("islands", Span.Int (List.length !remaining)) ];
     if use_backtracking then begin
       let progress = ref true in
       while !remaining <> [] && !progress do
@@ -259,6 +265,10 @@ let route_destination cdg ~escape ~weights ~dest ?(use_backtracking = true)
              if (not st.routed.(w)) && solve_island st w then begin
                stats.backtracks <- stats.backtracks + 1;
                Obs.incr c_backtracks;
+               if Span.enabled () then
+                 Span.instant "nue.backtrack"
+                   ~args:
+                     [ ("dest", Span.Int dest); ("island", Span.Int w) ];
                if use_shortcuts then apply_shortcuts st w stats;
                (* The island may unlock further nodes via the normal
                   search. *)
@@ -272,6 +282,11 @@ let route_destination cdg ~escape ~weights ~dest ?(use_backtracking = true)
     if !remaining <> [] then begin
       stats.fallbacks <- stats.fallbacks + 1;
       Obs.incr c_fallbacks;
+      if Span.enabled () then
+        Span.instant "nue.escape_fallback"
+          ~args:
+            [ ("dest", Span.Int dest);
+              ("unsolved_islands", Span.Int (List.length !remaining)) ];
       fall_back_to_escape st escape
     end
   end;

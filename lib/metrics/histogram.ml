@@ -4,12 +4,17 @@ type t = {
   counts : int array;
   mutable total : int;
   mutable sum : float;
+  (* Exact extrema: bins clamp samples outside [lo, hi), so the bin
+     edges alone cannot recover the true min/max. *)
+  mutable min_seen : float;
+  mutable max_seen : float;
 }
 
 let create ?(bins = 10) ~lo ~hi () =
   if bins < 1 then invalid_arg "Histogram.create: bins >= 1";
   if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
-  { lo; hi; counts = Array.make bins 0; total = 0; sum = 0.0 }
+  { lo; hi; counts = Array.make bins 0; total = 0; sum = 0.0;
+    min_seen = infinity; max_seen = neg_infinity }
 
 let bin_of t v =
   let bins = Array.length t.counts in
@@ -21,13 +26,19 @@ let bin_of t v =
 let add t v =
   t.counts.(bin_of t v) <- t.counts.(bin_of t v) + 1;
   t.total <- t.total + 1;
-  t.sum <- t.sum +. v
+  t.sum <- t.sum +. v;
+  if v < t.min_seen then t.min_seen <- v;
+  if v > t.max_seen then t.max_seen <- v
 
 let add_int t v = add t (float_of_int v)
 
 let count t = t.total
 
 let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+let min_value t = if t.total = 0 then 0.0 else t.min_seen
+
+let max_value t = if t.total = 0 then 0.0 else t.max_seen
 
 let percentile t q =
   if q <= 0.0 || q > 1.0 then invalid_arg "Histogram.percentile: q in (0,1]";

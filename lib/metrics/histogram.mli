@@ -15,6 +15,13 @@ val count : t -> int
 
 val mean : t -> float
 
+val min_value : t -> float
+(** Exact smallest sample (0 when empty) — bins clamp into [lo, hi), so
+    this is tracked separately. *)
+
+val max_value : t -> float
+(** Exact largest sample (0 when empty). *)
+
 val percentile : t -> float -> float
 (** Approximate (bin-resolution) percentile; argument in (0, 1]. *)
 

@@ -1,6 +1,14 @@
 type counter = { c_name : string; mutable n : int }
 
-type timer = { t_name : string; mutable total : float; mutable acts : int }
+type timer = {
+  t_name : string;
+  mutable total : float;
+  mutable acts : int;
+  (* Manual-scope state: clock value at [start], negative when idle.
+     Lets [stop] detect double-stop/double-start instead of silently
+     corrupting [total]. *)
+  mutable started_at : float;
+}
 
 let on = ref false
 
@@ -9,6 +17,14 @@ let enabled () = !on
 let enable () = on := true
 
 let disable () = on := false
+
+(* Debug mode: unbalanced timer scopes and span exits raise instead of
+   saturating. Off in release so production tracing can never throw. *)
+let debug_on = ref false
+
+let debug () = !debug_on
+
+let set_debug b = debug_on := b
 
 let clock = ref Sys.time
 
@@ -36,7 +52,7 @@ let timer name =
   match Hashtbl.find_opt timers name with
   | Some t -> t
   | None ->
-    let t = { t_name = name; total = 0.0; acts = 0 } in
+    let t = { t_name = name; total = 0.0; acts = 0; started_at = -1.0 } in
     Hashtbl.replace timers name t;
     t
 
@@ -52,6 +68,36 @@ let time t f =
     | r -> record (); r
     | exception e -> record (); raise e
   end
+
+(* Manual scopes, for callers whose begin/end cannot bracket a single
+   closure. Unbalanced use (start on a running timer, stop on an idle
+   one) raises in debug and saturates in release: the extra call is
+   dropped, never folded into [total]. *)
+let start t =
+  if !on then begin
+    if t.started_at >= 0.0 then begin
+      if !debug_on then
+        invalid_arg ("Obs.start: timer already running: " ^ t.t_name)
+      (* saturate: keep the original start point *)
+    end
+    else t.started_at <- !clock ()
+  end
+
+let stop t =
+  if !on then begin
+    if t.started_at < 0.0 then begin
+      if !debug_on then
+        invalid_arg ("Obs.stop: timer not running: " ^ t.t_name)
+      (* saturate: drop the unmatched stop *)
+    end
+    else begin
+      t.total <- t.total +. (!clock () -. t.started_at);
+      t.acts <- t.acts + 1;
+      t.started_at <- -1.0
+    end
+  end
+
+let running t = t.started_at >= 0.0
 
 type timer_total = { seconds : float; activations : int }
 
@@ -73,7 +119,12 @@ let snapshot () =
 
 let reset () =
   Hashtbl.iter (fun _ c -> c.n <- 0) counters;
-  Hashtbl.iter (fun _ t -> t.total <- 0.0; t.acts <- 0) timers
+  Hashtbl.iter
+    (fun _ t ->
+       t.total <- 0.0;
+       t.acts <- 0;
+       t.started_at <- -1.0)
+    timers
 
 let find s name =
   match List.assoc_opt name s.counters with Some v -> v | None -> 0

@@ -35,6 +35,14 @@ val enable : unit -> unit
 
 val disable : unit -> unit
 
+val debug : unit -> bool
+(** Debug mode; [false] at startup. While set, unbalanced timer scopes
+    ({!start}/{!stop}) and unbalanced span exits ({!Span.exit}) raise
+    [Invalid_argument]; otherwise they saturate (the unmatched call is
+    dropped and totals stay uncorrupted). *)
+
+val set_debug : bool -> unit
+
 val set_clock : (unit -> float) -> unit
 (** Install the wall-clock source used by {!time} (seconds, any fixed
     epoch). Defaults to [Sys.time] (CPU seconds) so the library carries
@@ -65,6 +73,20 @@ val time : timer -> (unit -> 'a) -> 'a
 (** Run the thunk; when enabled, add its wall time to the timer and
     bump its activation count. Exceptions propagate (and the elapsed
     time is still recorded). *)
+
+val start : timer -> unit
+(** Open a manual scope on the timer (for begin/end pairs that cannot
+    bracket one closure). Starting an already-running timer raises in
+    {!debug} mode and is dropped otherwise — the original start point is
+    kept, so totals never double-count. No-op while disabled. *)
+
+val stop : timer -> unit
+(** Close the manual scope: accumulate elapsed time, bump activations.
+    Stopping an idle timer (double-stop) raises in {!debug} mode and is
+    dropped otherwise. No-op while disabled. *)
+
+val running : timer -> bool
+(** Whether a manual scope is currently open on the timer. *)
 
 (** {1 Snapshots} *)
 

@@ -1,0 +1,342 @@
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type phase = Begin | End | Instant | Counter
+
+type event = {
+  name : string;
+  phase : phase;
+  ts : int;
+  args : (string * arg) list;
+}
+
+type handle = int
+
+let null_handle = 0
+
+(* {1 Enabling}
+
+   The tracer carries its own flag, independent of [Obs.on]: counters
+   are cheap enough to run over a whole bench sweep, while span capture
+   buffers events and is usually scoped to a single traced run. *)
+
+let on = ref false
+
+let enabled () = !on
+
+let enable () = on := true
+
+let disable () = on := false
+
+(* {1 Deterministic clock}
+
+   Default is the internal tick counter: every recorded event advances
+   it by one, so timestamps are a pure function of the event sequence —
+   two identical seeded runs serialize identically. [set_clock] installs
+   an external integer clock (the simulator plugs its cycle counter in),
+   [use_tick_clock] switches back, jumping the tick past the largest
+   stamp already emitted so the timeline stays monotonic. *)
+
+let tick = ref 0
+
+let last_ts = ref 0
+
+let custom_clock : (unit -> int) option ref = ref None
+
+let set_clock f = custom_clock := Some f
+
+let use_tick_clock () =
+  custom_clock := None;
+  if !tick <= !last_ts then tick := !last_ts + 1
+
+let now () =
+  match !custom_clock with Some f -> f () | None -> !tick
+
+(* {1 Event buffer}
+
+   A growable array capped at [capacity]: events past the cap are
+   counted as dropped rather than forcing an unbounded trace. The stack
+   bookkeeping keeps running even when events are dropped, so nesting
+   stays consistent. *)
+
+let dummy = { name = ""; phase = Instant; ts = 0; args = [] }
+
+let capacity = ref 262_144
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Span.set_capacity: capacity must be >= 1";
+  capacity := n
+
+let buf = ref (Array.make 1024 dummy)
+
+let len = ref 0
+
+let dropped_events = ref 0
+
+let record name phase args =
+  let ts =
+    match !custom_clock with
+    | Some f -> f ()
+    | None ->
+      let t = !tick in
+      tick := t + 1;
+      t
+  in
+  if ts > !last_ts then last_ts := ts;
+  if !len >= Array.length !buf && Array.length !buf < !capacity then begin
+    let nlen = min !capacity (2 * Array.length !buf) in
+    let nbuf = Array.make nlen dummy in
+    Array.blit !buf 0 nbuf 0 !len;
+    buf := nbuf
+  end;
+  (* The cap may sit below the physical array size (set_capacity after
+     the buffer already grew, or below the initial 1024). *)
+  if !len < !capacity && !len < Array.length !buf then begin
+    !buf.(!len) <- { name; phase; ts; args };
+    len := !len + 1
+  end
+  else incr dropped_events
+
+(* {1 Nesting}
+
+   [enter] pushes the span name and returns its depth as the handle;
+   [exit] must receive the handle of the innermost open span. A
+   mismatch raises under [Obs.debug] and saturates otherwise: exits
+   with no matching open span are ignored, exits over still-open
+   children close the children first. Totals are never corrupted
+   either way. *)
+
+let stack : string list ref = ref []
+
+let depth = ref 0
+
+let push name =
+  stack := name :: !stack;
+  depth := !depth + 1
+
+let pop_record args =
+  match !stack with
+  | [] -> ()
+  | name :: rest ->
+    stack := rest;
+    depth := !depth - 1;
+    record name End args
+
+let enter ?(args = []) name =
+  if not !on then null_handle
+  else begin
+    record name Begin args;
+    push name;
+    !depth
+  end
+
+let exit ?(args = []) h =
+  if !on && h > null_handle then
+    if !depth < h then begin
+      if Obs.debug () then
+        invalid_arg "Span.exit: span already closed (double exit)"
+    end
+    else begin
+      if !depth > h && Obs.debug () then
+        invalid_arg "Span.exit: unclosed child spans";
+      while !depth > h do
+        pop_record []
+      done;
+      pop_record args
+    end
+
+let with_ ?args name f =
+  if not !on then f ()
+  else begin
+    let h = enter ?args name in
+    match f () with
+    | r ->
+      exit h;
+      r
+    | exception e ->
+      exit ~args:[ ("exception", Str (Printexc.to_string e)) ] h;
+      raise e
+  end
+
+let instant ?(args = []) name = if !on then record name Instant args
+
+let counter name args = if !on then record name Counter args
+
+let reset () =
+  len := 0;
+  dropped_events := 0;
+  tick := 0;
+  last_ts := 0;
+  custom_clock := None;
+  stack := [];
+  depth := 0
+
+let events () = Array.to_list (Array.sub !buf 0 !len)
+
+let num_events () = !len
+
+let dropped () = !dropped_events
+
+let current_depth () = !depth
+
+(* {1 Chrome trace-event serialization}
+
+   The JSON Array Format of the Trace Event spec, wrapped in the object
+   form ({"traceEvents": [...]}) that Perfetto and chrome://tracing both
+   import. Timestamps are the deterministic integer stamps above,
+   declared as microseconds (the unit the format mandates); durations
+   therefore read in ticks/cycles, which is exactly what a reproducible
+   trace wants. [nue_obs] depends on nothing, so the escaping is local
+   rather than borrowed from the pipeline's JSON module. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let arg_value b = function
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+      Buffer.add_string b "null"
+    else Buffer.add_string b (Printf.sprintf "%.12g" f)
+  | Str s -> Buffer.add_string b (escape s)
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+
+let add_args b args =
+  Buffer.add_string b {|,"args":{|};
+  List.iteri
+    (fun i (k, v) ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b (escape k);
+       Buffer.add_char b ':';
+       arg_value b v)
+    args;
+  Buffer.add_char b '}'
+
+let add_event b e =
+  let ph =
+    match e.phase with
+    | Begin -> "B"
+    | End -> "E"
+    | Instant -> "i"
+    | Counter -> "C"
+  in
+  Buffer.add_string b {|{"name":|};
+  Buffer.add_string b (escape e.name);
+  Buffer.add_string b (Printf.sprintf {|,"cat":"nue","ph":"%s","ts":%d|} ph e.ts);
+  Buffer.add_string b {|,"pid":1,"tid":1|};
+  if e.phase = Instant then Buffer.add_string b {|,"s":"t"|};
+  (match (e.phase, e.args) with
+   | End, [] -> ()
+   | _ -> add_args b e.args);
+  Buffer.add_char b '}'
+
+let to_chrome_string () =
+  let b = Buffer.create (256 + (96 * !len)) in
+  Buffer.add_string b {|{"traceEvents":[|};
+  for i = 0 to !len - 1 do
+    if i > 0 then Buffer.add_char b ',';
+    add_event b !buf.(i)
+  done;
+  Buffer.add_string b
+    (Printf.sprintf
+       {|],"displayTimeUnit":"ms","otherData":{"clock":"deterministic-ticks","dropped_events":%d}}|}
+       !dropped_events);
+  Buffer.contents b
+
+(* {1 Flamegraph summary}
+
+   Inclusive tick totals aggregated by span-name stack path, rendered as
+   an indented tree sorted by total descending (name as tie-break, so
+   the rendering is deterministic). *)
+
+type node = {
+  mutable total : int;
+  mutable calls : int;
+  children : (string, node) Hashtbl.t;
+}
+
+let fresh_node () = { total = 0; calls = 0; children = Hashtbl.create 4 }
+
+let child_of n name =
+  match Hashtbl.find_opt n.children name with
+  | Some c -> c
+  | None ->
+    let c = fresh_node () in
+    Hashtbl.replace n.children name c;
+    c
+
+let flamegraph ?(width = 80) () =
+  let root = fresh_node () in
+  (* (node, begin ts) for every open span while walking the buffer. *)
+  let walk_stack = ref [ (root, 0) ] in
+  for i = 0 to !len - 1 do
+    let e = !buf.(i) in
+    match e.phase with
+    | Begin ->
+      let parent = fst (List.hd !walk_stack) in
+      walk_stack := (child_of parent e.name, e.ts) :: !walk_stack
+    | End ->
+      (match !walk_stack with
+       | (n, t0) :: (_ :: _ as rest) ->
+         n.total <- n.total + (e.ts - t0);
+         n.calls <- n.calls + 1;
+         walk_stack := rest
+       | _ -> () (* unbalanced End: ignore *))
+    | Instant | Counter -> ()
+  done;
+  let grand_total =
+    Hashtbl.fold (fun _ c acc -> acc + c.total) root.children 0
+  in
+  let b = Buffer.create 512 in
+  let rec render indent n =
+    let kids =
+      Hashtbl.fold (fun name c acc -> (name, c) :: acc) n.children []
+    in
+    let kids =
+      List.sort
+        (fun (na, a) (nb, bb) ->
+           match compare bb.total a.total with
+           | 0 -> compare na nb
+           | c -> c)
+        kids
+    in
+    List.iter
+      (fun (name, c) ->
+         let label = String.make (2 * indent) ' ' ^ name in
+         let label =
+           if String.length label > width - 28 then
+             String.sub label 0 (width - 28)
+           else label
+         in
+         let pct =
+           if grand_total = 0 then 0.0
+           else 100.0 *. float_of_int c.total /. float_of_int grand_total
+         in
+         Buffer.add_string b
+           (Printf.sprintf "%-*s %10d ticks %6dx %5.1f%%\n" (width - 28)
+              label c.total c.calls pct);
+         render (indent + 1) c)
+      kids
+  in
+  if grand_total = 0 && Hashtbl.length root.children = 0 then
+    Buffer.add_string b "(no spans recorded)\n"
+  else render 0 root;
+  Buffer.contents b

@@ -13,6 +13,7 @@ module Sim = Nue_sim.Sim
 module Traffic = Nue_sim.Traffic
 module Prng = Nue_structures.Prng
 module Obs = Nue_obs.Obs
+module Span = Nue_obs.Span
 
 (* Linking the pipeline must yield the complete registry: the baselines
    register from Nue_routing.Engine's own init, Nue from here. *)
@@ -71,6 +72,7 @@ type built = {
 }
 
 let build { topology; faults; seed } =
+  Span.with_ "pipeline.build" ~args:[ ("seed", Span.Int seed) ] @@ fun () ->
   let base_net, torus, tree =
     match topology with
     | Torus3d { dims; terminals; redundancy } ->
@@ -141,6 +143,7 @@ type outcome = {
 }
 
 let measure table =
+  Span.with_ "pipeline.measure" @@ fun () ->
   { verify = Verify.check table;
     vls_used = Verify.vls_used table;
     forwarding = Fi.summarize table;
@@ -154,7 +157,11 @@ let time f =
 
 let run ?(vcs = 8) ?dests ?sources ~engine b =
   let s = spec ~vcs ?dests ?sources b in
-  let table, seconds = time (fun () -> Engine.route engine s) in
+  let table, seconds =
+    time (fun () ->
+        Span.with_ "pipeline.route" ~args:[ ("engine", Span.Str engine) ]
+          (fun () -> Engine.route engine s))
+  in
   let metrics = match table with Ok t -> Some (measure t) | Error _ -> None in
   Obs.incr c_runs;
   (match metrics with
@@ -170,10 +177,20 @@ let run_all ?vcs b =
     (Engine.all ())
 
 let simulate ?config ~message_bytes table =
+  Span.with_ "pipeline.sim" ~args:[ ("message_bytes", Span.Int message_bytes) ]
+  @@ fun () ->
   let traffic =
     Traffic.all_to_all_shift table.Table.net ~message_bytes
   in
   Sim.run ?config table ~traffic
+
+let simulate_with_telemetry ?config ?telemetry ~message_bytes table =
+  Span.with_ "pipeline.sim" ~args:[ ("message_bytes", Span.Int message_bytes) ]
+  @@ fun () ->
+  let traffic =
+    Traffic.all_to_all_shift table.Table.net ~message_bytes
+  in
+  Sim.run_with_telemetry ?config ?telemetry table ~traffic
 
 (* {1 JSON rendering} *)
 
@@ -319,4 +336,67 @@ let sim_to_json (o : Sim.outcome) =
       ("aggregate_gbs", Json.Float o.Sim.aggregate_gbs);
       ("avg_packet_latency", Json.Float o.Sim.avg_packet_latency);
       ("latency_p50", Json.Float o.Sim.latency_p50);
-      ("latency_p99", Json.Float o.Sim.latency_p99) ]
+      ("latency_p95", Json.Float o.Sim.latency_p95);
+      ("latency_p99", Json.Float o.Sim.latency_p99);
+      ("latency_max", Json.Float o.Sim.latency_max) ]
+
+(* {1 Telemetry and span rendering} *)
+
+let telemetry_to_json (t : Sim.telemetry) =
+  let module H = Nue_metrics.Histogram in
+  let mean_util =
+    let n = Array.length t.Sim.link_utilization in
+    if n = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 t.Sim.link_utilization /. float_of_int n
+  in
+  let sample_to_json (s : Sim.sample) =
+    Json.Obj
+      [ ("cycle", Json.Int s.Sim.at_cycle);
+        ("buffered_flits",
+         Json.Int (Array.fold_left ( + ) 0 s.Sim.vl_occupancy));
+        ("peak_link_occupancy",
+         Json.Int (Array.fold_left max 0 s.Sim.link_occupancy));
+        ("vl_occupancy",
+         Json.List
+           (Array.to_list (Array.map (fun v -> Json.Int v) s.Sim.vl_occupancy)))
+      ]
+  in
+  Json.Obj
+    [ ("sample_every", Json.Int t.Sim.sample_every);
+      ("samples",
+       Json.List (Array.to_list (Array.map sample_to_json t.Sim.samples)));
+      ("dropped_samples", Json.Int t.Sim.dropped_samples);
+      ("link_utilization",
+       Json.Obj
+         [ ("peak", Json.Float t.Sim.peak_link_utilization);
+           ("peak_link", Json.Int t.Sim.peak_link);
+           ("mean", Json.Float mean_util) ]);
+      ("latency",
+       Json.Obj
+         [ ("count", Json.Int (H.count t.Sim.latency));
+           ("mean", Json.Float (H.mean t.Sim.latency));
+           ("p50", Json.Float (H.percentile t.Sim.latency 0.50));
+           ("p95", Json.Float (H.percentile t.Sim.latency 0.95));
+           ("p99", Json.Float (H.percentile t.Sim.latency 0.99));
+           ("max", Json.Float (H.max_value t.Sim.latency)) ]);
+      ("deadlock_wait_cycle",
+       Json.List
+         (List.map
+            (fun (c, vl) ->
+               Json.Obj [ ("channel", Json.Int c); ("vl", Json.Int vl) ])
+            t.Sim.deadlock_wait_cycle)) ]
+
+let with_spans f =
+  let was = Span.enabled () in
+  Span.reset ();
+  Span.enable ();
+  let finish () =
+    let evs = Span.events () in
+    if not was then Span.disable ();
+    evs
+  in
+  match f () with
+  | r -> (r, finish ())
+  | exception e ->
+    ignore (finish ());
+    raise e

@@ -137,6 +137,16 @@ val simulate :
 (** Flit-level all-to-all-shift simulation of a routed table (the
     optional last pipeline stage). *)
 
+val simulate_with_telemetry :
+  ?config:Nue_sim.Sim.config ->
+  ?telemetry:Nue_sim.Sim.telemetry_config ->
+  message_bytes:int ->
+  Nue_routing.Table.t ->
+  Nue_sim.Sim.outcome * Nue_sim.Sim.telemetry
+(** {!simulate} with the simulator's telemetry sink attached: per-link
+    and per-VL occupancy time series, link utilization, latency
+    histogram, and deadlock attribution. *)
+
 (** {1 JSON rendering (for [--format json] and scripting)} *)
 
 val verify_to_json : Nue_routing.Verify.report -> Json.t
@@ -151,6 +161,13 @@ val outcome_to_json : outcome -> Json.t
 
 val sim_to_json : Nue_sim.Sim.outcome -> Json.t
 
+val telemetry_to_json : Nue_sim.Sim.telemetry -> Json.t
+(** Sampling cadence and occupancy series (compact: total buffered
+    flits, peak per-link occupancy and the per-VL breakdown per
+    sample), link-utilization summary (peak, the channel achieving it,
+    mean), latency percentiles from the histogram, and the attributed
+    deadlock wait cycle (empty list when the run completed). *)
+
 (** {1 Tracing (the observability layer)}
 
     Linking the pipeline installs [Unix.gettimeofday] as
@@ -163,6 +180,14 @@ val with_trace : (unit -> 'a) -> 'a * Nue_obs.Obs.snapshot
 
 val trace_snapshot : unit -> Nue_obs.Obs.snapshot
 (** The current counter/timer state (shorthand for [Obs.snapshot]). *)
+
+val with_spans : (unit -> 'a) -> 'a * Nue_obs.Span.event list
+(** Run a thunk with the span tracer reset and enabled and return its
+    result together with the recorded events (render them with
+    {!Nue_obs.Span.to_chrome_string} / {!Nue_obs.Span.flamegraph}
+    before the next reset). Restores the tracer's previous
+    enabled/disabled state; the event buffer is left intact so callers
+    can serialize it. On exception the tracer state is still restored. *)
 
 val trace_to_json : Nue_obs.Obs.snapshot -> Json.t
 (** Render a snapshot as [{"counters": ..., "timers": ..., "derived":

@@ -2,6 +2,7 @@ module Network = Nue_netgraph.Network
 module Topology = Nue_netgraph.Topology
 module Fault = Nue_netgraph.Fault
 module Obs = Nue_obs.Obs
+module Span = Nue_obs.Span
 
 let c_routes_ok = Obs.counter "engine.routes_ok"
 let c_routes_err = Obs.counter "engine.routes_error"
@@ -54,6 +55,7 @@ let safety_wrap (module E : ENGINE) : (module ENGINE) =
     let name = E.name
     let capabilities = E.capabilities
     let timer = Obs.timer ("engine." ^ E.name)
+    let span_name = "engine." ^ E.name
 
     let route s =
       if s.vcs < 1 then
@@ -61,12 +63,19 @@ let safety_wrap (module E : ENGINE) : (module ENGINE) =
       else begin
         let result =
           Obs.time timer (fun () ->
-              match E.route s with
-              | r -> r
-              | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
-              | exception e ->
-                Error
-                  (Engine_error.Internal (name ^ ": " ^ Printexc.to_string e)))
+              Span.with_ span_name
+                ~args:
+                  [ ("vcs", Span.Int s.vcs);
+                    ("channels", Span.Int (Network.num_channels s.net)) ]
+                (fun () ->
+                   match E.route s with
+                   | r -> r
+                   | exception ((Out_of_memory | Stack_overflow) as e) ->
+                     raise e
+                   | exception e ->
+                     Error
+                       (Engine_error.Internal
+                          (name ^ ": " ^ Printexc.to_string e))))
         in
         (match result with
          | Ok _ -> Obs.incr c_routes_ok

@@ -1,11 +1,14 @@
 module Network = Nue_netgraph.Network
 module Table = Nue_routing.Table
 module Obs = Nue_obs.Obs
+module Span = Nue_obs.Span
+module Histogram = Nue_metrics.Histogram
 
 let c_flits = Obs.counter "sim.flit_transmits"
 let c_delivered = Obs.counter "sim.packets_delivered"
 let c_cycles = Obs.counter "sim.cycles"
 let c_deadlocks = Obs.counter "sim.deadlocks"
+let c_samples = Obs.counter "sim.telemetry_samples"
 
 type config = {
   buffer_flits : int;
@@ -26,17 +29,6 @@ let default_config =
     max_cycles = 10_000_000;
     watchdog = 20_000 }
 
-(* Nearest-rank percentile over the collected packet latencies. *)
-let percentile samples q =
-  match samples with
-  | [] -> 0.0
-  | _ ->
-    let a = Array.of_list samples in
-    Array.sort compare a;
-    let n = Array.length a in
-    let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
-    a.(max 0 (min (n - 1) idx))
-
 type outcome = {
   delivered_packets : int;
   total_packets : int;
@@ -46,7 +38,38 @@ type outcome = {
   aggregate_gbs : float;
   avg_packet_latency : float;
   latency_p50 : float;
+  latency_p95 : float;
   latency_p99 : float;
+  latency_max : float;
+}
+
+(* {1 Telemetry} *)
+
+type telemetry_config = {
+  sample_every : int;
+  max_samples : int;
+  latency_bins : int;
+}
+
+let default_telemetry =
+  { sample_every = 64; max_samples = 256; latency_bins = 32 }
+
+type sample = {
+  at_cycle : int;
+  link_occupancy : int array;
+  vl_occupancy : int array;
+}
+
+type telemetry = {
+  sample_every : int;
+  samples : sample array;
+  dropped_samples : int;
+  link_transmits : int array;
+  link_utilization : float array;
+  peak_link_utilization : float;
+  peak_link : int;
+  latency : Histogram.t;
+  deadlock_wait_cycle : (int * int) list;
 }
 
 (* A packet's route: channel and VL per hop, fixed at creation. *)
@@ -59,7 +82,8 @@ type packet = {
   mutable inject_cycle : int;
 }
 
-let run ?(config = default_config) (table : Table.t) ~traffic =
+let run_impl ~(config : config) ~(telem : telemetry_config option)
+    (table : Table.t) ~traffic =
   let net = table.Table.net in
   let nc = Network.num_channels net in
   let nn = Network.num_nodes net in
@@ -125,6 +149,60 @@ let run ?(config = default_config) (table : Table.t) ~traffic =
   let moved = ref false in
   let latency_sum = ref 0.0 in
   let latencies = ref [] in
+  let latency_max = ref 0.0 in
+  (* Flits moved per channel, for link utilization (each link carries at
+     most one flit per cycle, so transmits / cycles is in [0, 1]). *)
+  let link_tx = Array.make nc 0 in
+  (* Telemetry ring buffer: overwrites the oldest sample past
+     [max_samples], so a long run keeps its most recent window. *)
+  let ring =
+    match telem with
+    | None -> [||]
+    | Some t -> Array.make (max 1 t.max_samples) None
+  in
+  let ring_written = ref 0 in
+  (* Deterministic timeline for span events: while the simulator runs,
+     span stamps are simulation cycles, offset so they extend the tick
+     timeline monotonically. *)
+  let spans_on = Span.enabled () in
+  let span_base = if spans_on then Span.now () + 1 else 0 in
+  if spans_on then Span.set_clock (fun () -> span_base + !cycle);
+  let sim_span =
+    if spans_on then
+      Span.enter "sim.run"
+        ~args:
+          [ ("packets", Span.Int total_packets);
+            ("channels", Span.Int nc);
+            ("vls", Span.Int vls) ]
+    else Span.null_handle
+  in
+  let take_sample (t : telemetry_config) =
+    let link_occupancy = Array.make nc 0 in
+    let vl_occupancy = Array.make vls 0 in
+    for c = 0 to nc - 1 do
+      for vl = 0 to vls - 1 do
+        let q = Queue.length fifos.(unit_id c vl) in
+        link_occupancy.(c) <- link_occupancy.(c) + q;
+        vl_occupancy.(vl) <- vl_occupancy.(vl) + q
+      done
+    done;
+    ring.(!ring_written mod Array.length ring) <-
+      Some { at_cycle = !cycle; link_occupancy; vl_occupancy };
+    ring_written := !ring_written + 1;
+    Obs.incr c_samples;
+    if spans_on then begin
+      let total = Array.fold_left ( + ) 0 vl_occupancy in
+      let peak = Array.fold_left max 0 link_occupancy in
+      Span.counter "sim.buffered_flits" [ ("total", Span.Int total) ];
+      Span.counter "sim.peak_link_occupancy" [ ("flits", Span.Int peak) ];
+      Span.counter "sim.vl_occupancy"
+        (Array.to_list
+           (Array.mapi
+              (fun vl q -> ("vl" ^ string_of_int vl, Span.Int q))
+              vl_occupancy))
+    end;
+    ignore t
+  in
   let hop_index p c =
     let rec go i =
       if i >= Array.length p.hops then -1
@@ -135,6 +213,7 @@ let run ?(config = default_config) (table : Table.t) ~traffic =
   in
   let transmit c vl pid tail =
     Obs.incr c_flits;
+    link_tx.(c) <- link_tx.(c) + 1;
     credits.(unit_id c vl) <- credits.(unit_id c vl) - 1;
     owner.(unit_id c vl) <- (if tail then -1 else pid);
     Queue.add
@@ -222,8 +301,56 @@ let run ?(config = default_config) (table : Table.t) ~traffic =
       delivered_bytes := !delivered_bytes + p.bytes;
       let lat = float_of_int (!cycle - p.inject_cycle) in
       latency_sum := !latency_sum +. lat;
+      if lat > !latency_max then latency_max := lat;
       latencies := lat :: !latencies
     end
+  in
+  (* Deadlock attribution: the wait-for graph over (channel, VL) units.
+     A unit whose head flit still has hops to go waits for its next-hop
+     unit; the deadlocked units form a cycle in that graph (classic
+     wormhole circular wait). Returns the cycle, oldest-first, or [] if
+     the stall is not a circular wait (e.g. an injection livelock). *)
+  let find_wait_cycle () =
+    let n_units = nc * vls in
+    let want = Array.make n_units (-1) in
+    for c = 0 to nc - 1 do
+      for vl = 0 to vls - 1 do
+        match Queue.peek_opt fifos.(unit_id c vl) with
+        | None -> ()
+        | Some flit ->
+          let p = packets.(flit / 2) in
+          let h = hop_index p c in
+          if h >= 0 && h + 1 < Array.length p.hops then
+            want.(unit_id c vl) <- unit_id p.hops.(h + 1) p.hop_vl.(h + 1)
+      done
+    done;
+    (* 0 = unvisited, 1 = on the current walk, 2 = finished. *)
+    let state = Array.make n_units 0 in
+    let cycle_units = ref [] in
+    let u = ref 0 in
+    while !cycle_units = [] && !u < n_units do
+      if state.(!u) = 0 then begin
+        let path = ref [] in
+        let v = ref !u in
+        while !v >= 0 && state.(!v) = 0 do
+          state.(!v) <- 1;
+          path := !v :: !path;
+          v := want.(!v)
+        done;
+        if !v >= 0 && state.(!v) = 1 then begin
+          (* Walked back into the current path: cut the cycle out. *)
+          let rec collect acc = function
+            | [] -> acc
+            | x :: rest ->
+              if x = !v then x :: acc else collect (x :: acc) rest
+          in
+          cycle_units := collect [] !path
+        end;
+        List.iter (fun x -> state.(x) <- 2) !path
+      end;
+      incr u
+    done;
+    List.map (fun unit -> (unit / vls, unit mod vls)) !cycle_units
   in
   let deadlocked = ref false in
   while
@@ -253,26 +380,104 @@ let run ?(config = default_config) (table : Table.t) ~traffic =
         end
       | _ -> landing := false
     done;
+    (match telem with
+     | Some t when !cycle mod t.sample_every = 0 -> take_sample t
+     | _ -> ());
     if !moved then last_movement := !cycle;
     if !cycle - !last_movement > config.watchdog then deadlocked := true;
     incr cycle
   done;
+  let wait_cycle = if !deadlocked then find_wait_cycle () else [] in
   let cycles = max 1 !cycle in
   Obs.add c_cycles cycles;
-  if !deadlocked then Obs.incr c_deadlocks;
+  if !deadlocked then begin
+    Obs.incr c_deadlocks;
+    if spans_on then
+      Span.instant "sim.deadlock"
+        ~args:
+          (( "last_movement", Span.Int !last_movement )
+           :: ("blocked_units", Span.Int (List.length wait_cycle))
+           :: List.concat_map
+                (fun (c, vl) ->
+                   [ ("channel", Span.Int c); ("vl", Span.Int vl) ])
+                wait_cycle)
+  end;
+  if spans_on then begin
+    Span.exit sim_span
+      ~args:
+        [ ("cycles", Span.Int cycles);
+          ("delivered", Span.Int !delivered_packets);
+          ("deadlock", Span.Bool !deadlocked) ];
+    Span.use_tick_clock ()
+  end;
   (* One flit per cycle per link at [link_gbs] implies the cycle time. *)
   let seconds =
     float_of_int cycles *. float_of_int config.flit_bytes
     /. (config.link_gbs *. 1e9)
   in
-  { delivered_packets = !delivered_packets;
-    total_packets;
-    delivered_bytes = !delivered_bytes;
-    cycles;
-    deadlock = !deadlocked;
-    aggregate_gbs = float_of_int !delivered_bytes /. 1e9 /. seconds;
-    avg_packet_latency =
-      (if !delivered_packets = 0 then 0.0
-       else !latency_sum /. float_of_int !delivered_packets);
-    latency_p50 = percentile !latencies 0.50;
-    latency_p99 = percentile !latencies 0.99 }
+  (* Packet latencies all flow through one histogram, so every consumer
+     (sim outcome, telemetry, bench) reports identical percentiles. *)
+  let bins =
+    match telem with Some t -> t.latency_bins | None -> default_telemetry.latency_bins
+  in
+  let hist = Histogram.of_samples ~bins !latencies in
+  let pct q = if !latencies = [] then 0.0 else Histogram.percentile hist q in
+  let outcome =
+    { delivered_packets = !delivered_packets;
+      total_packets;
+      delivered_bytes = !delivered_bytes;
+      cycles;
+      deadlock = !deadlocked;
+      aggregate_gbs = float_of_int !delivered_bytes /. 1e9 /. seconds;
+      avg_packet_latency =
+        (if !delivered_packets = 0 then 0.0
+         else !latency_sum /. float_of_int !delivered_packets);
+      latency_p50 = pct 0.50;
+      latency_p95 = pct 0.95;
+      latency_p99 = pct 0.99;
+      latency_max = !latency_max }
+  in
+  let telemetry =
+    match telem with
+    | None -> None
+    | Some t ->
+      let nslots = Array.length ring in
+      let kept = min !ring_written nslots in
+      let oldest = !ring_written - kept in
+      let samples =
+        Array.init kept (fun i ->
+            match ring.((oldest + i) mod nslots) with
+            | Some s -> s
+            | None -> assert false)
+      in
+      let link_utilization =
+        Array.map (fun tx -> float_of_int tx /. float_of_int cycles) link_tx
+      in
+      let peak_link = ref 0 in
+      Array.iteri
+        (fun c u ->
+           if u > link_utilization.(!peak_link) then peak_link := c)
+        link_utilization;
+      Some
+        { sample_every = t.sample_every;
+          samples;
+          dropped_samples = !ring_written - kept;
+          link_transmits = link_tx;
+          link_utilization;
+          peak_link_utilization = link_utilization.(!peak_link);
+          peak_link = !peak_link;
+          latency = hist;
+          deadlock_wait_cycle = wait_cycle }
+  in
+  (outcome, telemetry)
+
+let run ?(config = default_config) table ~traffic =
+  fst (run_impl ~config ~telem:None table ~traffic)
+
+let run_with_telemetry ?(config = default_config)
+    ?(telemetry = default_telemetry) table ~traffic =
+  if telemetry.sample_every < 1 then
+    invalid_arg "Sim.run_with_telemetry: sample_every must be >= 1";
+  match run_impl ~config ~telem:(Some telemetry) table ~traffic with
+  | o, Some t -> (o, t)
+  | _, None -> assert false

@@ -9,6 +9,15 @@
     outstanding, the run aborts and reports it — routing functions with
     cyclic dependency graphs visibly hang here, Nue's never do.
 
+    The optional telemetry sink ({!run_with_telemetry}) samples
+    per-link and per-VC buffer occupancy every N cycles into a ring
+    buffer, accumulates per-link utilization, routes packet latencies
+    through {!Nue_metrics.Histogram}, and attributes a detected
+    deadlock to the circular wait of (channel, VL) units that blocks
+    it. When the span tracer ({!Nue_obs.Span}) is enabled, the run is
+    bracketed in a [sim.run] span stamped in {e simulation cycles} and
+    each telemetry sample also emits Perfetto counter events.
+
     This is the reduced-scale substitute for the paper's OMNeT++
     toolchain; see DESIGN.md for the substitution rationale. *)
 
@@ -36,7 +45,44 @@ type outcome = {
   avg_packet_latency : float; (** cycles from injection-eligible to tail
                                   delivery, averaged *)
   latency_p50 : float;        (** median packet latency, cycles *)
+  latency_p95 : float;        (** 95th-percentile packet latency, cycles *)
   latency_p99 : float;        (** 99th-percentile packet latency, cycles *)
+  latency_max : float;        (** slowest packet, cycles (exact) *)
+}
+(** Percentiles are computed through {!Nue_metrics.Histogram} (bin
+    resolution); [latency_max] is tracked exactly. *)
+
+(** {1 Telemetry} *)
+
+type telemetry_config = {
+  sample_every : int;   (** cycles between occupancy samples *)
+  max_samples : int;    (** ring capacity; older samples are dropped *)
+  latency_bins : int;   (** histogram bins for packet latencies *)
+}
+
+val default_telemetry : telemetry_config
+(** Sample every 64 cycles, keep the last 256 samples, 32 latency bins. *)
+
+type sample = {
+  at_cycle : int;
+  link_occupancy : int array;  (** buffered flits per channel (all VLs) *)
+  vl_occupancy : int array;    (** buffered flits per VL (all channels) *)
+}
+
+type telemetry = {
+  sample_every : int;
+  samples : sample array;        (** chronological; the most recent
+                                     [max_samples] if the run was longer *)
+  dropped_samples : int;         (** samples overwritten in the ring *)
+  link_transmits : int array;    (** flits moved per channel *)
+  link_utilization : float array;(** transmits / cycles, in [0, 1] *)
+  peak_link_utilization : float;
+  peak_link : int;               (** channel achieving the peak *)
+  latency : Nue_metrics.Histogram.t;  (** per-packet latency, cycles *)
+  deadlock_wait_cycle : (int * int) list;
+      (** on deadlock: the circular wait as (channel, VL) units, each
+          waiting for the next (the last waits for the first); [] when
+          no deadlock was detected or the stall is not a circular wait *)
 }
 
 val run :
@@ -48,3 +94,12 @@ val run :
     @raise Invalid_argument if a message endpoint is not a terminal, a
     destination is not routed by the table, or the table needs more VLs
     than the paths declare. *)
+
+val run_with_telemetry :
+  ?config:config ->
+  ?telemetry:telemetry_config ->
+  Nue_routing.Table.t ->
+  traffic:Traffic.message list ->
+  outcome * telemetry
+(** {!run} with the telemetry sink attached.
+    @raise Invalid_argument additionally if [sample_every < 1]. *)

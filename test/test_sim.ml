@@ -177,6 +177,141 @@ let more_vcs_do_not_hurt_much () =
     (t4 >= 0.6 *. t1);
   Alcotest.(check bool) "both positive" true (t1 > 0.0 && t4 > 0.0)
 
+(* {1 Telemetry} *)
+
+let telemetry_matches_plain_run () =
+  (* The sink is observation-only: the outcome with telemetry attached
+     is identical to the plain run's. *)
+  let t = Helpers.small_torus () in
+  let net = t.Nue_netgraph.Topology.net in
+  let table = Nue.route ~vcs:2 net in
+  let traffic = Traffic.all_to_all_shift net ~message_bytes:256 in
+  let plain = Sim.run table ~traffic in
+  let out, _ = Sim.run_with_telemetry table ~traffic in
+  Alcotest.(check int) "cycles" plain.Sim.cycles out.Sim.cycles;
+  Alcotest.(check int) "delivered" plain.Sim.delivered_packets
+    out.Sim.delivered_packets;
+  Alcotest.(check (float 1e-9)) "p50" plain.Sim.latency_p50 out.Sim.latency_p50;
+  Alcotest.(check (float 1e-9)) "p95" plain.Sim.latency_p95 out.Sim.latency_p95;
+  Alcotest.(check (float 1e-9)) "p99" plain.Sim.latency_p99 out.Sim.latency_p99;
+  Alcotest.(check (float 1e-9)) "max" plain.Sim.latency_max out.Sim.latency_max
+
+let telemetry_sampling_and_utilization () =
+  let t = Helpers.small_torus () in
+  let net = t.Nue_netgraph.Topology.net in
+  let table = Nue.route ~vcs:2 net in
+  let traffic = Traffic.all_to_all_shift net ~message_bytes:256 in
+  let telemetry = { Sim.sample_every = 4; max_samples = 8; latency_bins = 16 } in
+  let out, tm = Sim.run_with_telemetry ~telemetry table ~traffic in
+  Alcotest.(check int) "cadence recorded" 4 tm.Sim.sample_every;
+  Alcotest.(check bool) "ring filled" true (Array.length tm.Sim.samples <= 8);
+  (* The run is much longer than 8 * 4 cycles, so the ring overflowed
+     and only the most recent samples survive, in order. *)
+  Alcotest.(check bool) "drops counted" true (tm.Sim.dropped_samples > 0);
+  let rec chronological last = function
+    | [] -> ()
+    | (s : Sim.sample) :: rest ->
+      Alcotest.(check bool) "samples in cycle order" true (s.Sim.at_cycle > last);
+      chronological s.Sim.at_cycle rest
+  in
+  chronological (-1) (Array.to_list tm.Sim.samples);
+  Array.iter
+    (fun (s : Sim.sample) ->
+       Alcotest.(check int) "per-channel occupancy vector"
+         (Network.num_channels net)
+         (Array.length s.Sim.link_occupancy);
+       Array.iter
+         (fun o -> Alcotest.(check bool) "occupancy >= 0" true (o >= 0))
+         s.Sim.link_occupancy)
+    tm.Sim.samples;
+  (* Utilization: transmits / cycles, bounded by the link rate. *)
+  Alcotest.(check int) "per-channel utilization vector"
+    (Network.num_channels net)
+    (Array.length tm.Sim.link_utilization);
+  Array.iteri
+    (fun c u ->
+       Alcotest.(check bool) "utilization in [0,1]" true (u >= 0.0 && u <= 1.0);
+       Alcotest.(check (float 1e-9)) "utilization = transmits/cycles"
+         (float_of_int tm.Sim.link_transmits.(c)
+          /. float_of_int out.Sim.cycles)
+         u)
+    tm.Sim.link_utilization;
+  let peak = Array.fold_left max 0.0 tm.Sim.link_utilization in
+  Alcotest.(check (float 1e-9)) "peak is the max" peak
+    tm.Sim.peak_link_utilization;
+  Alcotest.(check (float 1e-9)) "peak_link achieves it"
+    tm.Sim.link_utilization.(tm.Sim.peak_link)
+    tm.Sim.peak_link_utilization;
+  (* Latency histogram covers every delivered packet, and the
+     percentile chain is ordered. *)
+  let module H = Nue_metrics.Histogram in
+  Alcotest.(check int) "histogram counts deliveries"
+    out.Sim.delivered_packets (H.count tm.Sim.latency);
+  let p50 = H.percentile tm.Sim.latency 0.50 in
+  let p95 = H.percentile tm.Sim.latency 0.95 in
+  let p99 = H.percentile tm.Sim.latency 0.99 in
+  Alcotest.(check bool) "p50 <= p95 <= p99" true (p50 <= p95 && p95 <= p99);
+  Alcotest.(check (list (pair int int))) "no deadlock, no wait cycle" []
+    tm.Sim.deadlock_wait_cycle;
+  Alcotest.(check bool) "rejects sample_every < 1" true
+    (match
+       Sim.run_with_telemetry
+         ~telemetry:{ telemetry with Sim.sample_every = 0 }
+         table ~traffic
+     with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let deadlock_attributed_to_wait_cycle () =
+  (* The clockwise-ring deadlock again, now asking the sink to name the
+     circular wait: the blocked units must form a nonempty cycle of
+     distinct (channel, VL) pairs over real channels. *)
+  let net = Helpers.ring ~terminals:1 4 in
+  let terms = Network.terminals net in
+  let nn = Network.num_nodes net in
+  let next_channel =
+    Array.map
+      (fun dest ->
+         let dw = Network.terminal_attachment net dest in
+         let nexts = Array.make nn (-1) in
+         for i = 0 to 3 do
+           if i = dw then
+             nexts.(i) <- Option.get (Network.find_channel net i dest)
+           else
+             nexts.(i) <-
+               Option.get (Network.find_channel net i ((i + 1) mod 4))
+         done;
+         Array.iter
+           (fun t ->
+              if t <> dest then nexts.(t) <- (Network.out_channels net t).(0))
+           terms;
+         nexts)
+      terms
+  in
+  let table =
+    Table.make ~net ~algorithm:"clockwise" ~dests:terms ~next_channel
+      ~vl:Table.All_zero ~num_vls:1 ()
+  in
+  let traffic = Traffic.all_to_all_shift net ~message_bytes:8192 in
+  let config =
+    { Sim.default_config with buffer_flits = 2; watchdog = 5_000 }
+  in
+  let out, tm = Sim.run_with_telemetry ~config table ~traffic in
+  Alcotest.(check bool) "deadlock detected" true out.Sim.deadlock;
+  let cycle = tm.Sim.deadlock_wait_cycle in
+  Alcotest.(check bool) "wait cycle found" true (List.length cycle >= 2);
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (c, vl) ->
+       Alcotest.(check bool) "real channel" true
+         (c >= 0 && c < Network.num_channels net);
+       Alcotest.(check int) "single-VL table blocks on VL 0" 0 vl;
+       if Hashtbl.mem seen (c, vl) then Alcotest.fail "unit repeated";
+       Hashtbl.add seen (c, vl) ())
+    cycle;
+  (* All four ring links participate in the classic ring deadlock. *)
+  Alcotest.(check int) "all ring units blocked" 4 (List.length cycle)
+
 let suite =
   [ ("traffic",
      [ test_case "all-to-all counts" `Quick traffic_all_to_all_counts;
@@ -191,4 +326,10 @@ let suite =
        test_case "nue survives same load" `Quick nue_survives_where_cyclic_deadlocks;
        test_case "rejects non-terminal endpoints" `Quick
          rejects_non_terminal_endpoints;
-       test_case "VC trend sanity" `Slow more_vcs_do_not_hurt_much ]) ]
+       test_case "VC trend sanity" `Slow more_vcs_do_not_hurt_much ]);
+    ("sim:telemetry",
+     [ test_case "observation-only" `Slow telemetry_matches_plain_run;
+       test_case "sampling and utilization" `Slow
+         telemetry_sampling_and_utilization;
+       test_case "deadlock attribution" `Quick
+         deadlock_attributed_to_wait_cycle ]) ]
