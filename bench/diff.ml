@@ -1,0 +1,109 @@
+(* Perf-trajectory tooling: flatten a bench report to numeric leaves and
+   compare two reports experiment by experiment.
+
+   `main.exe -- diff BASELINE [CURRENT]` prints, per experiment, every
+   numeric quantity whose value moved between the baseline report and
+   the current one (default BENCH_nue.json), plus added/removed
+   experiments. Report.write uses the same flattening to append one
+   compact history row per run to BENCH_history.jsonl. *)
+
+module Json = Nue_pipeline.Json
+
+(* Numeric leaves of an experiment section, as dotted paths. List items
+   are indexed; non-numeric leaves (strings, bools) are skipped — the
+   trajectory tracks quantities, not labels. *)
+let flatten v =
+  let out = ref [] in
+  let rec go prefix v =
+    let key name = if prefix = "" then name else prefix ^ "." ^ name in
+    match v with
+    | Json.Int i -> out := (prefix, float_of_int i) :: !out
+    | Json.Float f -> out := (prefix, f) :: !out
+    | Json.Obj fields -> List.iter (fun (k, v) -> go (key k) v) fields
+    | Json.List items ->
+      List.iteri (fun i v -> go (key (string_of_int i)) v) items
+    | Json.Null | Json.Bool _ | Json.Str _ -> ()
+  in
+  go "" v;
+  List.rev !out
+
+let experiments report =
+  match Json.member "experiments" report with
+  | Some (Json.Obj fields) -> fields
+  | _ -> []
+
+let read_report path =
+  let ic = open_in path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+         let len = in_channel_length ic in
+         really_input_string ic len)
+  in
+  Json.of_string s
+
+(* A measurable change: floats carry run-to-run noise (wall times), so
+   only report moves beyond 0.5% or an absolute 1e-9. *)
+let moved a b =
+  let eps = 1e-9 in
+  Float.abs (b -. a) > eps
+  && (a = 0.0 || Float.abs ((b -. a) /. a) > 0.005)
+
+let diff_experiment name base cur =
+  let base_flat = flatten base and cur_flat = flatten cur in
+  let base_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace base_tbl k v) base_flat;
+  let changes = ref [] in
+  List.iter
+    (fun (k, v) ->
+       match Hashtbl.find_opt base_tbl k with
+       | Some b ->
+         Hashtbl.remove base_tbl k;
+         if moved b v then changes := (k, Some b, Some v) :: !changes
+       | None -> changes := (k, None, Some v) :: !changes)
+    cur_flat;
+  Hashtbl.iter (fun k b -> changes := (k, Some b, None) :: !changes) base_tbl;
+  let changes =
+    List.sort (fun (a, _, _) (b, _, _) -> compare a b) !changes
+  in
+  if changes <> [] then begin
+    Printf.printf "%s:\n" name;
+    List.iter
+      (fun (k, b, v) ->
+         match (b, v) with
+         | Some b, Some v ->
+           let pct =
+             if b = 0.0 then "" else Printf.sprintf " (%+.1f%%)" (100.0 *. (v -. b) /. b)
+           in
+           Printf.printf "  %-40s %14g -> %-14g%s\n" k b v pct
+         | None, Some v -> Printf.printf "  %-40s %14s -> %-14g (new)\n" k "-" v
+         | Some b, None -> Printf.printf "  %-40s %14g -> %-14s (gone)\n" k b "-"
+         | None, None -> ())
+      changes
+  end;
+  List.length changes
+
+let run ~baseline ~current =
+  let base = read_report baseline and cur = read_report current in
+  Printf.printf "bench diff: %s (baseline) vs %s\n\n" baseline current;
+  let base_exps = experiments base and cur_exps = experiments cur in
+  let total = ref 0 in
+  List.iter
+    (fun (name, cur_v) ->
+       match List.assoc_opt name base_exps with
+       | Some base_v -> total := !total + diff_experiment name base_v cur_v
+       | None ->
+         Printf.printf "%s: (not in baseline)\n" name;
+         incr total)
+    cur_exps;
+  List.iter
+    (fun (name, _) ->
+       if not (List.mem_assoc name cur_exps) then begin
+         Printf.printf "%s: (dropped since baseline)\n" name;
+         incr total
+       end)
+    base_exps;
+  if !total = 0 then print_endline "no measurable differences"
+  else Printf.printf "\n%d differing quantit%s\n" !total
+      (if !total = 1 then "y" else "ies")

@@ -16,10 +16,32 @@ let usage () =
     \             bechamel\n\
      flags: --full (paper-scale), --sim (flit-level simulation),\n\
     \        --no-sim, --topos N (fig9 topology count)\n\
-     every run writes machine-readable results to BENCH_nue.json"
+     every run writes machine-readable results to BENCH_nue.json and\n\
+     appends a compact row to BENCH_history.jsonl\n\
+     diff mode: main.exe -- diff BASELINE.json [CURRENT.json]\n\
+    \            (per-experiment deltas; CURRENT defaults to BENCH_nue.json)"
+
+let run_diff = function
+  | baseline :: rest ->
+    let current =
+      match rest with path :: _ -> path | [] -> Report.path
+    in
+    (try Diff.run ~baseline ~current with
+     | Sys_error msg ->
+       Printf.eprintf "bench diff: %s\n" msg;
+       exit 1
+     | Nue_pipeline.Json.Parse_error msg ->
+       Printf.eprintf "bench diff: malformed report: %s\n" msg;
+       exit 1)
+  | [] ->
+    Printf.eprintf "bench diff: missing BASELINE argument\n";
+    exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | "diff" :: rest -> run_diff rest
+  | _ ->
   let full = List.mem "--full" args in
   let sim_flag = List.mem "--sim" args in
   let no_sim = List.mem "--no-sim" args in

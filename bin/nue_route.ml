@@ -13,6 +13,8 @@
      dump     print the linear forwarding table of one switch
      export   write network/DOT/LFT files
      compare  run every registered engine side by side
+     explain  hop-by-hop provenance trail of one (src, dst) pair
+     inspect  render the per-layer complete CDG / acyclic digraph as DOT
 
    Example:
      nue_route route --topology torus --dims 4x4x3 --terminals 4 \
@@ -28,6 +30,8 @@ module Experiment = Nue_pipeline.Experiment
 module Json = Nue_pipeline.Json
 module Sim = Nue_sim.Sim
 module Obs = Nue_obs.Obs
+module Provenance = Nue_core.Provenance
+module Verify = Nue_routing.Verify
 
 (* {1 Topology construction} *)
 
@@ -93,6 +97,9 @@ let report_text built (o : Experiment.outcome) =
     Printf.printf "connected:      %b\n" r.V.connected;
     Printf.printf "cycle-free:     %b\n" r.V.cycle_free;
     Printf.printf "deadlock-free:  %b\n" r.V.deadlock_free;
+    (match r.V.dependency_cycle with
+     | Some cycle -> print_string (Verify.render_cycle table cycle)
+     | None -> ());
     let module Fi = Nue_metrics.Forwarding_index in
     Printf.printf "edge forwarding index: min %.0f avg %.1f max %.0f sd %.1f\n"
       m.Experiment.forwarding.Fi.min m.Experiment.forwarding.Fi.avg
@@ -391,15 +398,28 @@ let dump_cmd =
     Term.(const run $ build_t $ algorithm_t $ vcs_t $ switch_t)
 
 let export_cmd =
-  let run built out dot lft algorithm vcs =
+  let run built out dot lft algorithm vcs overlay =
     let net = built.Experiment.net in
     if out <> "" then begin
       Nue_netgraph.Serialize.write_file out net;
       Printf.printf "wrote %s\n" out
     end;
     if dot <> "" then begin
+      let rendering =
+        if overlay then begin
+          (* Faults rendered on the intact topology: failed elements stay
+             visible (dashed red) instead of disappearing. *)
+          let failed_switches, failed_links =
+            Nue_netgraph.Fault.removed built.Experiment.base
+              built.Experiment.remap
+          in
+          Nue_netgraph.Serialize.to_dot ~failed_switches ~failed_links
+            built.Experiment.base
+        end
+        else Nue_netgraph.Serialize.to_dot net
+      in
       let oc = open_out dot in
-      output_string oc (Nue_netgraph.Serialize.to_dot net);
+      output_string oc rendering;
       close_out oc;
       Printf.printf "wrote %s\n" dot
     end;
@@ -428,8 +448,188 @@ let export_cmd =
          & info [ "lft" ] ~docv:"PATH"
              ~doc:"Route and write all forwarding tables here.")
   in
+  let overlay_t =
+    Arg.(value & flag
+         & info [ "overlay-faults" ]
+             ~doc:"Render $(b,--dot) on the intact topology with the \
+                   injected faults overlaid dashed-red (failed switches \
+                   filled, failed links and links of failed switches \
+                   faded) instead of omitting them.")
+  in
   Cmd.v (Cmd.info "export" ~doc:"Write network/DOT/LFT files")
-    Term.(const run $ build_t $ out_t $ dot_t $ lft_t $ algorithm_t $ vcs_t)
+    Term.(const run $ build_t $ out_t $ dot_t $ lft_t $ algorithm_t $ vcs_t
+          $ overlay_t)
+
+(* Route with the provenance recorder on; only Nue feeds the recorder,
+   so [explain]/[inspect] pin the engine rather than taking --algorithm
+   (a trail for a baseline engine would always come back empty). *)
+let run_with_provenance built vcs =
+  let o, run =
+    Experiment.with_provenance (fun () ->
+        Experiment.run ~vcs ~engine:"nue" built)
+  in
+  match (o.Experiment.table, run) with
+  | Error e, _ ->
+    Printf.eprintf "routing failed: %s\n" (Engine_error.to_string e);
+    exit 1
+  | Ok table, Some run -> (o, table, run)
+  | Ok _, None ->
+    Printf.eprintf "internal error: no provenance recorded\n";
+    exit 1
+
+let explain_cmd =
+  let run built vcs src dst format =
+    let _o, table, run = run_with_provenance built vcs in
+    match Provenance.explain run table ~src ~dst with
+    | Some e ->
+      (match format with
+       | `Json ->
+         print_endline
+           (Json.to_string_pretty (Experiment.explanation_to_json table e))
+       | _ -> print_string (Provenance.explanation_to_string table e))
+    | None ->
+      let net = built.Experiment.net in
+      let nn = Network.num_nodes net in
+      if src < 0 || src >= nn || dst < 0 || dst >= nn then
+        Printf.eprintf "no such pair %d -> %d (nodes are 0..%d)\n" src dst
+          (nn - 1)
+      else if
+        not (Array.exists (fun d -> d = dst) table.Table.dests)
+      then
+        Printf.eprintf
+          "node %d is not a routed destination (terminals are; switches \
+           route traffic but receive none)\n"
+          dst
+      else
+        Printf.eprintf "no path from %d to %d in the table\n" src dst;
+      exit 1
+  in
+  let src_t =
+    Arg.(required & pos 0 (some int) None
+         & info [] ~docv:"SRC" ~doc:"Source node id.")
+  in
+  let dst_t =
+    Arg.(required & pos 1 (some int) None
+         & info [] ~docv:"DST" ~doc:"Destination node id.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain one pair's path: the hop-by-hop decision trail Nue \
+             recorded while routing (admitted CDG edges with the omega \
+             condition that admitted them, rejected alternatives, \
+             backtracks and escape fallbacks)")
+    Term.(const run $ build_t $ vcs_t $ src_t $ dst_t $ format_t)
+
+let inspect_cmd =
+  let run built vcs layer pair dot_cdg dot_acyclic dot_witness =
+    let _o, table, run = run_with_provenance built vcs in
+    let layers = run.Provenance.r_layers in
+    (* The pair overlay pins the layer: a path only makes sense in the
+       CDG of the virtual layer its destination was routed on. *)
+    let layer, highlight =
+      match pair with
+      | None -> (layer, [])
+      | Some (src, dst) ->
+        (match Provenance.explain run table ~src ~dst with
+         | None ->
+           Printf.eprintf "no trail for pair %d -> %d\n" src dst;
+           exit 1
+         | Some e ->
+           let channels =
+             List.map (fun h -> h.Provenance.h_channel) e.Provenance.e_hops
+           in
+           (e.Provenance.e_layer, channels))
+    in
+    if layer < 0 || layer >= Array.length layers then begin
+      Printf.eprintf "no such layer %d (run used %d layer(s))\n" layer
+        (Array.length layers);
+      exit 1
+    end;
+    let cap = layers.(layer) in
+    Printf.printf "run: %s partition, seed %d, %d VC(s), %d layer(s)\n"
+      run.Provenance.r_strategy run.Provenance.r_seed run.Provenance.r_vcs
+      (Array.length layers);
+    Array.iter
+      (fun (c : Provenance.layer_capture) ->
+         let used = ref 0 and blocked = ref 0 and unused = ref 0 in
+         Nue_cdg.Complete_cdg.count_states c.Provenance.l_cdg ~used ~blocked
+           ~unused;
+         Printf.printf
+           "  layer %d: escape root %d, %d pre-seeded deps, CDG edges: %d \
+            used / %d blocked / %d unused, %d cycle searches\n"
+           c.Provenance.l_layer c.Provenance.l_root c.Provenance.l_initial_deps
+           !used !blocked !unused
+           (Nue_cdg.Complete_cdg.cycle_searches c.Provenance.l_cdg))
+      layers;
+    if dot_cdg <> "" then begin
+      let oc = open_out dot_cdg in
+      output_string oc
+        (Nue_cdg.Complete_cdg.to_dot ~highlight_path:highlight
+           ~escape:cap.Provenance.l_escape_channels cap.Provenance.l_cdg);
+      close_out oc;
+      Printf.printf "wrote %s (layer %d)\n" dot_cdg layer
+    end;
+    if dot_acyclic <> "" then begin
+      let oc = open_out dot_acyclic in
+      output_string oc
+        (Nue_cdg.Acyclic_digraph.to_dot
+           (Nue_cdg.Complete_cdg.used_digraph cap.Provenance.l_cdg));
+      close_out oc;
+      Printf.printf "wrote %s (layer %d)\n" dot_acyclic layer
+    end;
+    if dot_witness <> "" then begin
+      let report = Verify.check table in
+      match report.Verify.dependency_cycle with
+      | None ->
+        Printf.printf
+          "no dependency cycle to render (the table verifies deadlock-free)\n"
+      | Some cycle ->
+        let oc = open_out dot_witness in
+        output_string oc (Verify.cycle_to_dot table cycle);
+        close_out oc;
+        print_string (Verify.render_cycle table cycle);
+        Printf.printf "wrote %s\n" dot_witness
+    end
+  in
+  let layer_t =
+    Arg.(value & opt int 0
+         & info [ "layer" ] ~docv:"N"
+             ~doc:"Virtual layer whose CDG to render (default 0; overridden \
+                   by $(b,--pair), which pins the destination's layer).")
+  in
+  let pair_t =
+    Arg.(value & opt (some (pair ~sep:',' int int)) None
+         & info [ "pair" ] ~docv:"SRC,DST"
+             ~doc:"Overlay this pair's path on the CDG rendering (orange).")
+  in
+  let dot_cdg_t =
+    Arg.(value & opt string ""
+         & info [ "dot-cdg" ] ~docv:"PATH"
+             ~doc:"Write the layer's complete CDG as DOT: channels as \
+                   boxes (escape channels double-bordered), dependency \
+                   edges gray/dotted while unused, blue while used, red/\
+                   dashed once blocked.")
+  in
+  let dot_acyclic_t =
+    Arg.(value & opt string ""
+         & info [ "dot-acyclic" ] ~docv:"PATH"
+             ~doc:"Write the layer's acyclic digraph (the used subgraph \
+                   with its Pearce-Kelly topological order) as DOT.")
+  in
+  let dot_witness_t =
+    Arg.(value & opt string ""
+         & info [ "dot-witness" ] ~docv:"PATH"
+             ~doc:"Verify the table and, if a dependency cycle exists, \
+                   render the witness as DOT (and its text form on \
+                   stdout).")
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Introspect a Nue run: per-layer CDG statistics and DOT \
+             renderings of the complete CDG, the acyclic digraph and any \
+             deadlock witness")
+    Term.(const run $ build_t $ vcs_t $ layer_t $ pair_t $ dot_cdg_t
+          $ dot_acyclic_t $ dot_witness_t)
 
 let compare_cmd =
   let run built vcs trace =
@@ -478,4 +678,8 @@ let () =
     Cmd.info "nue_route" ~version:"1.0.0"
       ~doc:"Deadlock-free routing on the complete channel dependency graph"
   in
-  exit (Cmd.eval (Cmd.group info [ route_cmd; sim_cmd; dump_cmd; export_cmd; compare_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ route_cmd; sim_cmd; dump_cmd; export_cmd; compare_cmd;
+            explain_cmd; inspect_cmd ]))

@@ -115,6 +115,37 @@ let try_add_edge t u v =
       true
   end
 
+(* Graphviz rendering: vertices annotated with their current Pearce-
+   Kelly topological index, edges labelled with their multiplicity when
+   above 1. Isolated vertices are omitted unless [isolated] is set —
+   LASH/static-CDG graphs are sparse in practice and the noise drowns
+   the structure. *)
+let to_dot ?(isolated = false) t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph \"acyclic-cdg\" {\n  rankdir=LR;\n";
+  Buffer.add_string buf "  node [shape=ellipse, fontsize=9];\n";
+  for v = 0 to t.n - 1 do
+    if isolated
+       || Hashtbl.length t.succ.(v) > 0
+       || Hashtbl.length t.pred.(v) > 0
+    then
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d [label=\"%d (ord %d)\"];\n" v v t.ord.(v))
+  done;
+  for u = 0 to t.n - 1 do
+    let out = Hashtbl.fold (fun v m acc -> (v, m) :: acc) t.succ.(u) [] in
+    List.iter
+      (fun (v, m) ->
+         let label =
+           if m > 1 then Printf.sprintf " [label=\"x%d\", fontsize=8]" m
+           else ""
+         in
+         Buffer.add_string buf (Printf.sprintf "  v%d -> v%d%s;\n" u v label))
+      (List.sort compare out)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
 let remove_edge t u v =
   match Hashtbl.find_opt t.succ.(u) v with
   | None | Some 0 -> invalid_arg "Acyclic_digraph.remove_edge: absent edge"

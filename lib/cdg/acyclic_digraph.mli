@@ -34,3 +34,8 @@ val num_edges : t -> int
 val order : t -> int -> int
 (** Current topological index of a vertex (all indices distinct;
     edges always point from lower to higher index). *)
+
+val to_dot : ?isolated:bool -> t -> string
+(** Graphviz rendering: vertices annotated with their topological index,
+    edges labelled with their multiplicity when above 1. Vertices with
+    no incident edge are omitted unless [isolated] is [true]. *)

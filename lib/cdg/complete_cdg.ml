@@ -185,6 +185,30 @@ let reaches t ~start ~target =
   done;
   !found
 
+type verdict =
+  | Blocked_memo
+  | Used_memo
+  | Distinct_merge
+  | Search_acyclic
+  | Search_cycle
+
+let verdict_ok = function
+  | Used_memo | Distinct_merge | Search_acyclic -> true
+  | Blocked_memo | Search_cycle -> false
+
+let verdict_condition = function
+  | Blocked_memo -> 'a'
+  | Used_memo -> 'b'
+  | Distinct_merge -> 'c'
+  | Search_acyclic | Search_cycle -> 'd'
+
+let verdict_to_string = function
+  | Blocked_memo -> "blocked-memo"
+  | Used_memo -> "used-memo"
+  | Distinct_merge -> "distinct-merge"
+  | Search_acyclic -> "search-acyclic"
+  | Search_cycle -> "search-cycle"
+
 let usable t ~from ~slot ~commit =
   Obs.incr c_usable;
   let state = t.succ_state.(from).(slot) in
@@ -192,13 +216,13 @@ let usable t ~from ~slot ~commit =
     (* (a) known to close a cycle *)
     Obs.incr c_hit_blocked;
     if commit then Obs.incr c_reject;
-    false
+    Blocked_memo
   end
   else if state >= 1 then begin
     (* (b) already used, already acyclic *)
     Obs.incr c_hit_used;
     if commit then Obs.incr c_accept;
-    true
+    Used_memo
   end
   else begin
     let q = t.succ.(from).(slot) in
@@ -214,7 +238,7 @@ let usable t ~from ~slot ~commit =
         let id = merge t id_p id_q in
         mark_edge_used t ~from ~slot id
       end;
-      true
+      Distinct_merge
     end
     else begin
       Obs.incr c_search;
@@ -243,21 +267,24 @@ let usable t ~from ~slot ~commit =
           Obs.incr c_accept;
           mark_edge_used t ~from ~slot om_p
         end;
-        true
+        Search_acyclic
       end
       else begin
         if commit then begin
           Obs.incr c_reject;
           t.succ_state.(from).(slot) <- -1
         end;
-        false
+        Search_cycle
       end
     end
   end
 
-let try_use_edge t ~from ~slot = usable t ~from ~slot ~commit:true
+let try_use_edge t ~from ~slot = verdict_ok (usable t ~from ~slot ~commit:true)
 
-let would_use_edge t ~from ~slot = usable t ~from ~slot ~commit:false
+let try_use_edge_v t ~from ~slot = usable t ~from ~slot ~commit:true
+
+let would_use_edge t ~from ~slot =
+  verdict_ok (usable t ~from ~slot ~commit:false)
 
 let used_subgraph_acyclic t =
   let nc = num_channels t in
@@ -308,3 +335,78 @@ let count_states t ~used ~blocked ~unused =
     t.succ_state
 
 let cycle_searches t = t.searches
+
+(* Graphviz rendering of the complete CDG with its routing state.
+   Vertices are channels (labelled with their endpoints), edges are
+   dependencies colored by omega: gray dotted while unused, blue while
+   used (labelled with the subgraph id), red dashed once blocked.
+   [escape] flags channels to draw double-bordered (the escape-path
+   tree); [highlight_path] overlays one pair's channel sequence in
+   orange, including the dependency edges between consecutive hops. *)
+let used_digraph t =
+  let nc = Array.length t.succ in
+  let g = Acyclic_digraph.create nc in
+  for c = 0 to nc - 1 do
+    let s = t.succ.(c) and st = t.succ_state.(c) in
+    for slot = 0 to Array.length s - 1 do
+      if st.(slot) >= 1 then
+        if not (Acyclic_digraph.try_add_edge g c s.(slot)) then
+          invalid_arg "Complete_cdg.used_digraph: used edges contain a cycle"
+    done
+  done;
+  g
+
+let to_dot ?(highlight_path = []) ?(escape = [||]) t =
+  let nc = num_channels t in
+  let on_path = Array.make nc false in
+  List.iter
+    (fun c -> if c >= 0 && c < nc then on_path.(c) <- true)
+    highlight_path;
+  let path_edge = Hashtbl.create 16 in
+  let rec mark_path = function
+    | c1 :: (c2 :: _ as rest) ->
+      Hashtbl.replace path_edge (c1, c2) ();
+      mark_path rest
+    | _ -> []
+  in
+  ignore (mark_path highlight_path);
+  let is_escape c = c < Array.length escape && escape.(c) in
+  let buf = Buffer.create (256 * (nc + 1)) in
+  Buffer.add_string buf "digraph \"complete-cdg\" {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [fontsize=9];\n";
+  for c = 0 to nc - 1 do
+    let u = Network.src t.net c and v = Network.dst t.net c in
+    let om = t.chan_state.(c) in
+    let fill, fontcolor =
+      if on_path.(c) then ("orange", "black")
+      else if om >= 1 then ("lightblue", "black")
+      else ("white", "gray40")
+    in
+    let peripheries = if is_escape c then 2 else 1 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  c%d [label=\"c%d: %d-%d%s\", shape=box, style=filled, \
+          fillcolor=\"%s\", fontcolor=\"%s\", peripheries=%d];\n"
+         c c u v
+         (if om >= 1 then Printf.sprintf "\\nomega=%d" om else "")
+         fill fontcolor peripheries)
+  done;
+  for c = 0 to nc - 1 do
+    let s = t.succ.(c) and st = t.succ_state.(c) in
+    for i = 0 to Array.length s - 1 do
+      let q = s.(i) in
+      let attrs =
+        if Hashtbl.mem path_edge (c, q) then
+          "color=orange, penwidth=2.5"
+        else
+          match st.(i) with
+          | -1 -> "color=red, style=dashed"
+          | 0 -> "color=gray70, style=dotted"
+          | id -> Printf.sprintf "color=blue, label=\"%d\", fontsize=8" id
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  c%d -> c%d [%s];\n" c q attrs)
+    done
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -66,6 +66,31 @@ val try_use_edge : t -> from:int -> slot:int -> bool
     otherwise. Blocked edges stay blocked: the used subgraph only grows,
     so a once-detected cycle never disappears. *)
 
+(** Which of Section 4.6.1's conditions decided a [try_use_edge] call —
+    the provenance layer records this per rejected (and accepted)
+    alternative so [nue_route explain] can say {e why} an edge was
+    blocked. *)
+type verdict =
+  | Blocked_memo    (** (a): memoized blocked — a past search proved the
+                        edge closes a cycle *)
+  | Used_memo       (** (b): already used, hence already known acyclic *)
+  | Distinct_merge  (** (c): endpoints in distinct (or fresh) acyclic
+                        subgraphs — merged without a search *)
+  | Search_acyclic  (** (d): same subgraph, DFS found no used path back *)
+  | Search_cycle    (** (d): same subgraph, DFS found a cycle — blocked *)
+
+val verdict_ok : verdict -> bool
+(** Whether the verdict admits the edge ([try_use_edge]'s boolean). *)
+
+val verdict_condition : verdict -> char
+(** The Section 4.6.1 condition label: ['a'] to ['d']. *)
+
+val verdict_to_string : verdict -> string
+
+val try_use_edge_v : t -> from:int -> slot:int -> verdict
+(** [try_use_edge] returning the deciding condition instead of a bare
+    boolean; identical state mutations and counter increments. *)
+
 val would_use_edge : t -> from:int -> slot:int -> bool
 (** Like [try_use_edge] but without committing: [true] iff the edge is
     usable right now. Does not block the edge on failure. *)
@@ -82,3 +107,23 @@ val count_states : t -> used:int ref -> blocked:int ref -> unused:int ref -> uni
 val cycle_searches : t -> int
 (** Number of depth-first searches performed so far (condition (d) of
     Section 4.6.1) — instruments how effective the omega memoization is. *)
+
+val used_digraph : t -> Acyclic_digraph.t
+(** The used subgraph re-checked into an {!Acyclic_digraph} (vertices are
+    channel ids). Its Pearce-Kelly topological order is what
+    [nue_route inspect --dot-acyclic] renders.
+    @raise Invalid_argument if the used edges contain a cycle (the
+    incremental invariant makes this impossible). *)
+
+val to_dot :
+  ?highlight_path:int list ->
+  ?escape:bool array ->
+  t ->
+  string
+(** Graphviz rendering of the complete CDG with its current state:
+    channels as boxes (filled while used, double-bordered when flagged
+    in [escape] — pass the escape tree's channel membership), dependency
+    edges gray/dotted while unused, blue with their subgraph id while
+    used, red/dashed once blocked. [highlight_path] overlays one pair's
+    channel sequence (and the dependency edges between consecutive
+    hops) in orange. *)

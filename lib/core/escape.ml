@@ -59,6 +59,10 @@ let prepare cdg ~root ~dests =
          end
        done)
     dests;
+  if Provenance.enabled () then
+    Provenance.record_escape_prepared
+      ~channels:tree.Graph_algo.tree_channel
+      ~initial_deps:t.initial_deps;
   t
 
 let tree t = t.tree

@@ -43,6 +43,10 @@ let route_with_stats ?(options = default_options) ?dests ?sources ~vcs net =
     match sources with Some s -> s | None -> Network.terminals net
   in
   let prng = Prng.create options.seed in
+  if Provenance.enabled () then
+    Provenance.start_run
+      ~strategy:(Partition.strategy_name options.strategy)
+      ~seed:options.seed ~vcs;
   let subsets =
     Partition.partition ~strategy:options.strategy ~prng net ~dests ~k:vcs
   in
@@ -84,6 +88,10 @@ let route_with_stats ?(options = default_options) ?dests ?sources ~vcs net =
                ("dests", Span.Int (Array.length subset)) ]
            (fun () ->
               let cdg = Complete_cdg.create net in
+              (* Before [Escape.prepare]: its hook records the escape
+                 tree into the current layer capture. *)
+              if Provenance.enabled () then
+                Provenance.begin_layer ~layer ~root ~cdg;
               let escape = Escape.prepare cdg ~root ~dests:subset in
               let deps = Escape.initial_dependencies escape in
               Obs.add c_initial_deps deps;
@@ -94,6 +102,8 @@ let route_with_stats ?(options = default_options) ?dests ?sources ~vcs net =
               in
               Array.iter
                 (fun dest ->
+                   if Provenance.enabled () then
+                     Provenance.begin_dest ~dest;
                    let nexts =
                      (* One span per destination-routing round (one
                         constrained-Dijkstra tree, Algorithm 1). The

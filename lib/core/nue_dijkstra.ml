@@ -32,11 +32,27 @@ type state = {
   heap : int Fib_heap.t;
 }
 
-(* Dependency slot of the edge [from -> to_]; both are channels. *)
+(* Dependency slot of the edge [from -> to_]; both are channels. When
+   the provenance recorder is on, the same commit goes through the
+   verdict-returning variant so the trail can say which of conditions
+   (a)-(d) decided the edge; state mutations and counters are
+   identical. *)
 let edge_usable st ~from ~to_ =
   match Complete_cdg.find_slot st.cdg ~from ~to_ with
-  | None -> false
-  | Some slot -> Complete_cdg.try_use_edge st.cdg ~from ~slot
+  | None ->
+    if Provenance.enabled () then
+      Provenance.record_check ~channel:from ~onto:to_ ~omega_before:0
+        Provenance.No_edge;
+    false
+  | Some slot ->
+    if Provenance.enabled () then begin
+      let before = Complete_cdg.edge_omega st.cdg ~from ~slot in
+      let v = Complete_cdg.try_use_edge_v st.cdg ~from ~slot in
+      Provenance.record_check ~channel:from ~onto:to_ ~omega_before:before
+        (Provenance.Cdg_edge v);
+      Complete_cdg.verdict_ok v
+    end
+    else Complete_cdg.try_use_edge st.cdg ~from ~slot
 
 (* Expand a freshly routed node [n]: offer every in-channel a = (x, n)
    whose key improves x's tentative distance (the relaxation condition
@@ -54,6 +70,10 @@ let expand st n =
       if key < st.tent.(x) then begin
         let usable =
           if n = st.dest then begin
+            if Provenance.enabled () then
+              Provenance.record_check ~channel:a ~onto:(-1)
+                ~omega_before:(Complete_cdg.channel_omega st.cdg a)
+                Provenance.Into_destination;
             ignore (Complete_cdg.use_channel st.cdg a);
             true
           end
@@ -67,7 +87,9 @@ let expand st n =
     end
   done
 
-let finalize st node ~channel ~dist =
+let finalize ?(via = Provenance.Dijkstra) st node ~channel ~dist =
+  if Provenance.enabled () then
+    Provenance.record_finalize ~node ~channel ~dist ~via;
   st.routed.(node) <- true;
   st.used_channel.(node) <- channel;
   st.ndist.(node) <- dist;
@@ -95,7 +117,7 @@ let drain st =
    forwarding through [m] is untouched by a per-destination switch).
    Commits used/blocked edge states as it tests — a failed switch leaves
    extra used edges behind, which is conservative but sound. *)
-let try_switch st m ~to_channel:a =
+let try_switch ?(via = Provenance.Switch) st m ~to_channel:a =
   let x = Network.dst st.net a in
   st.routed.(x)
   && begin
@@ -122,6 +144,9 @@ let try_switch st m ~to_channel:a =
       if !ok then begin
         st.used_channel.(m) <- a;
         st.ndist.(m) <- st.ndist.(x) +. st.weights.(a);
+        if Provenance.enabled () then
+          Provenance.record_finalize ~node:m ~channel:a ~dist:st.ndist.(m)
+            ~via;
         true
       end
       else false
@@ -187,7 +212,7 @@ let solve_island st w =
              && edge_usable st ~from:c ~to_:a)
       in
       if committed then begin
-        finalize st w ~channel:c ~dist;
+        finalize ~via:Provenance.Backtrack st w ~channel:c ~dist;
         true
       end
       else attempt rest
@@ -206,7 +231,7 @@ let apply_shortcuts st w stats =
       st.routed.(x) && x <> st.dest
       && st.ndist.(w) +. st.weights.(g) < st.ndist.(x)
     then
-      if try_switch st x ~to_channel:g then begin
+      if try_switch ~via:Provenance.Shortcut st x ~to_channel:g then begin
         stats.shortcuts <- stats.shortcuts + 1;
         Obs.incr c_shortcuts
       end
@@ -251,6 +276,8 @@ let route_destination cdg ~escape ~weights ~dest ?(use_backtracking = true)
   if !remaining <> [] then begin
     stats.impasse_dests <- stats.impasse_dests + 1;
     Obs.incr c_impasses;
+    if Provenance.enabled () then
+      Provenance.record_impasse ~islands:(List.length !remaining);
     if Span.enabled () then
       Span.instant "nue.impasse"
         ~args:
@@ -282,6 +309,9 @@ let route_destination cdg ~escape ~weights ~dest ?(use_backtracking = true)
     if !remaining <> [] then begin
       stats.fallbacks <- stats.fallbacks + 1;
       Obs.incr c_fallbacks;
+      if Provenance.enabled () then
+        Provenance.record_escape_fallback
+          ~unsolved:(List.length !remaining);
       if Span.enabled () then
         Span.instant "nue.escape_fallback"
           ~args:

@@ -6,6 +6,11 @@ type strategy =
   | Random
   | Clustered
 
+let strategy_name = function
+  | Kway -> "kway"
+  | Random -> "random"
+  | Clustered -> "clustered"
+
 (* {1 Multilevel k-way partitioning}
 
    Operates on a weighted switch graph: vertex weight = number of

@@ -14,6 +14,10 @@ type strategy =
   | Clustered (** terminals of one switch stay together, switches dealt
                   round-robin *)
 
+val strategy_name : strategy -> string
+(** Lower-case name ("kway", "random", "clustered") — used by the
+    provenance layer and the CLI. *)
+
 val partition :
   ?strategy:strategy ->
   ?prng:Nue_structures.Prng.t ->

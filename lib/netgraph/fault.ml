@@ -73,6 +73,34 @@ let remove_links net pairs =
   let dead_node = Array.make (Network.num_nodes net) false in
   rebuild net ~dead_node ~dead_link
 
+let removed base remap =
+  let switches =
+    List.filter
+      (fun n -> Network.is_switch base n && remap.of_old.(n) < 0)
+      (Array.to_list (Network.switches base))
+  in
+  (* Multiset difference of duplex links over the surviving endpoints:
+     whatever the base has that the degraded network lacks was cut. *)
+  let key u v = if u <= v then (u, v) else (v, u) in
+  let surviving = Hashtbl.create 64 in
+  Array.iter
+    (fun (u, v) ->
+       let k = key remap.to_old.(u) remap.to_old.(v) in
+       Hashtbl.replace surviving k
+         (1 + Option.value ~default:0 (Hashtbl.find_opt surviving k)))
+    (Network.duplex_pairs remap.net);
+  let links = ref [] in
+  Array.iter
+    (fun (u, v) ->
+       if remap.of_old.(u) >= 0 && remap.of_old.(v) >= 0 then begin
+         let k = key u v in
+         match Hashtbl.find_opt surviving k with
+         | Some n when n > 0 -> Hashtbl.replace surviving k (n - 1)
+         | _ -> links := k :: !links
+       end)
+    (Network.duplex_pairs base);
+  (switches, List.rev !links)
+
 let random_link_failures prng net ~fraction =
   let duplex = Network.duplex_pairs net in
   let eligible = ref [] in

@@ -24,6 +24,13 @@ val remove_links : Network.t -> (int * int) list -> remap
     @raise Invalid_argument if a pair has no link or the result is
     disconnected. *)
 
+val removed : Network.t -> remap -> int list * (int * int) list
+(** [removed base remap] recovers what a fault plan took away, in the
+    base network's node ids: the removed switches, and the removed
+    switch-to-switch duplex links whose both endpoints survived (links
+    that died with a removed switch are implied by it and not listed).
+    Feed the result to {!Serialize.to_dot}'s fault overlay. *)
+
 val random_link_failures :
   Nue_structures.Prng.t -> Network.t -> fraction:float -> remap
 (** Fail [fraction] of the switch-to-switch duplex links (rounded down,

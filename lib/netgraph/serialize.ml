@@ -81,27 +81,66 @@ let read_file path =
        really_input_string ic len)
   |> of_string
 
-let to_dot ?(channel_labels = false) net =
+let to_dot ?(channel_labels = false) ?(failed_switches = [])
+    ?(failed_links = []) net =
+  let nn = Network.num_nodes net in
+  let dead = Array.make nn false in
+  List.iter
+    (fun s ->
+       if s < 0 || s >= nn then
+         invalid_arg "Serialize.to_dot: failed switch id out of range";
+       dead.(s) <- true;
+       Array.iter
+         (fun t -> dead.(t) <- true)
+         (Network.attached_terminals net s))
+    failed_switches;
+  (* Cut links form a multiset: each listed pair fades one parallel copy
+     of that duplex link. *)
+  let cut = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+       let k = if u <= v then (u, v) else (v, u) in
+       Hashtbl.replace cut k
+         (1 + Option.value ~default:0 (Hashtbl.find_opt cut k)))
+    failed_links;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "graph %S {\n  layout=neato;\n  overlap=false;\n"
        (Network.name net));
-  for n = 0 to Network.num_nodes net - 1 do
+  for n = 0 to nn - 1 do
     let shape, label =
       match Network.kind net n with
       | Network.Switch -> ("box", Printf.sprintf "s%d" n)
       | Network.Terminal -> ("point", Printf.sprintf "t%d" n)
     in
+    let fault =
+      if dead.(n) then ", style=\"filled,dashed\", fillcolor=mistyrose, color=red"
+      else ""
+    in
     Buffer.add_string buf
-      (Printf.sprintf "  n%d [shape=%s, label=\"%s\"];\n" n shape label)
+      (Printf.sprintf "  n%d [shape=%s, label=\"%s\"%s];\n" n shape label fault)
   done;
   Array.iteri
     (fun l (u, v) ->
        let label =
-         if channel_labels then Printf.sprintf " [label=\"c%d\"]" (2 * l)
+         if channel_labels then Printf.sprintf ", label=\"c%d\"" (2 * l)
          else ""
        in
-       Buffer.add_string buf (Printf.sprintf "  n%d -- n%d%s;\n" u v label))
+       let k = if u <= v then (u, v) else (v, u) in
+       let cut_here =
+         match Hashtbl.find_opt cut k with
+         | Some n when n > 0 ->
+           Hashtbl.replace cut k (n - 1);
+           true
+         | _ -> false
+       in
+       let attrs =
+         if cut_here || dead.(u) || dead.(v) then
+           Printf.sprintf " [color=red, style=dashed%s]" label
+         else if channel_labels then Printf.sprintf " [label=\"c%d\"]" (2 * l)
+         else ""
+       in
+       Buffer.add_string buf (Printf.sprintf "  n%d -- n%d%s;\n" u v attrs))
     (Network.duplex_pairs net);
   Buffer.add_string buf "}\n";
   Buffer.contents buf

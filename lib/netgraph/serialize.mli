@@ -24,10 +24,21 @@ val write_file : string -> Network.t -> unit
 
 val read_file : string -> Network.t
 
-val to_dot : ?channel_labels:bool -> Network.t -> string
+val to_dot :
+  ?channel_labels:bool ->
+  ?failed_switches:int list ->
+  ?failed_links:(int * int) list ->
+  Network.t ->
+  string
 (** Graphviz rendering: switches as boxes, terminals as points, one
     undirected edge per duplex link. [channel_labels] annotates edges
-    with their forward channel id. *)
+    with their forward channel id. The fault overlay renders
+    [failed_switches] (with their terminals) filled red and dashed, and
+    fades each listed [failed_links] pair (one parallel copy per listing)
+    plus every link incident to a failed switch dashed red — pass
+    {!Fault.removed}'s output to visualize a degraded run on the intact
+    topology.
+    @raise Invalid_argument if a failed switch id is out of range. *)
 
 val of_ibnetdiscover : string -> Network.t
 (** Parse a (simplified) ibnetdiscover dump — the format the paper's

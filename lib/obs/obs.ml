@@ -18,6 +18,29 @@ let enable () = on := true
 
 let disable () = on := false
 
+(* Named feature switches: one mutable flag per name, off by default.
+   Clients keep the switch value and test it on the hot path, so a
+   disabled feature costs one load — the same discipline as [enabled]
+   above, but per-feature instead of registry-wide. The provenance
+   recorder is the first client. *)
+type switch = { s_name : string; mutable s_on : bool }
+
+let switches : (string, switch) Hashtbl.t = Hashtbl.create 8
+
+let switch name =
+  match Hashtbl.find_opt switches name with
+  | Some s -> s
+  | None ->
+    let s = { s_name = name; s_on = false } in
+    Hashtbl.replace switches name s;
+    s
+
+let switch_on s = s.s_on
+
+let set_switch s b = s.s_on <- b
+
+let switch_name s = s.s_name
+
 (* Debug mode: unbalanced timer scopes and span exits raise instead of
    saturating. Off in release so production tracing can never throw. *)
 let debug_on = ref false

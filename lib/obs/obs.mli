@@ -43,6 +43,28 @@ val debug : unit -> bool
 
 val set_debug : bool -> unit
 
+(** {1 Feature switches}
+
+    Named boolean flags for opt-in subsystems that are not plain
+    counters or timers (the provenance recorder, for example). Like the
+    registry-wide flag, a switch is off at startup, and testing it is a
+    single load — instrumented code guards both the recording and the
+    construction of its arguments behind {!switch_on}, so a disabled
+    feature never allocates. *)
+
+type switch
+(** A named feature flag. Registration is idempotent: two [switch "x"]
+    calls return the same cell. *)
+
+val switch : string -> switch
+
+val switch_on : switch -> bool
+(** Current state; [false] until {!set_switch}. *)
+
+val set_switch : switch -> bool -> unit
+
+val switch_name : switch -> string
+
 val set_clock : (unit -> float) -> unit
 (** Install the wall-clock source used by {!time} (seconds, any fixed
     epoch). Defaults to [Sys.time] (CPU seconds) so the library carries

@@ -386,6 +386,75 @@ let telemetry_to_json (t : Sim.telemetry) =
                Json.Obj [ ("channel", Json.Int c); ("vl", Json.Int vl) ])
             t.Sim.deadlock_wait_cycle)) ]
 
+(* {1 Provenance} *)
+
+module Provenance = Nue_core.Provenance
+
+let with_provenance f = Provenance.with_recording f
+
+let check_to_json net (c : Provenance.check) =
+  let open Json in
+  let base =
+    [ ("channel", Int c.Provenance.chk_channel);
+      ("onto",
+       if c.Provenance.chk_onto < 0 then Null else Int c.Provenance.chk_onto);
+      ("toward", Int (Network.dst net c.Provenance.chk_channel));
+      ("ok", Bool (Provenance.check_ok c)) ]
+  in
+  let detail =
+    match c.Provenance.chk_subject with
+    | Provenance.Into_destination -> [ ("kind", Str "into-destination") ]
+    | Provenance.No_edge -> [ ("kind", Str "no-cdg-edge") ]
+    | Provenance.Cdg_edge v ->
+      [ ("kind", Str "cdg-edge");
+        ("verdict", Str (Nue_cdg.Complete_cdg.verdict_to_string v));
+        ("condition",
+         Str (String.make 1 (Nue_cdg.Complete_cdg.verdict_condition v)));
+        ("omega_before", Int c.Provenance.chk_omega_before) ]
+  in
+  Obj (base @ detail)
+
+let explanation_to_json (table : Table.t) (e : Provenance.explanation) =
+  let open Json in
+  let net = table.Table.net in
+  let hop_to_json (h : Provenance.hop) =
+    Obj
+      [ ("node", Int h.Provenance.h_node);
+        ("channel", Int h.Provenance.h_channel);
+        ("to", Int (Network.dst net h.Provenance.h_channel));
+        ("vl", Int h.Provenance.h_vl);
+        ("via", Str (Provenance.via_to_string h.Provenance.h_via));
+        ("dist",
+         match h.Provenance.h_dist with Some d -> Float d | None -> Null);
+        ("admitted",
+         match h.Provenance.h_accepted with
+         | Some c -> check_to_json net c
+         | None ->
+           if h.Provenance.h_via = Provenance.Escape then
+             Str "escape-tree dependency"
+           else Str "into-destination");
+        ("rejected",
+         List
+           (List.map
+              (fun (c, times) ->
+                 match check_to_json net c with
+                 | Obj fields -> Obj (fields @ [ ("retries", Int times) ])
+                 | j -> j)
+              h.Provenance.h_rejected)) ]
+  in
+  Obj
+    [ ("src", Int e.Provenance.e_src);
+      ("dst", Int e.Provenance.e_dst);
+      ("layer", Int e.Provenance.e_layer);
+      ("escape_root", Int e.Provenance.e_root);
+      ("strategy", Str e.Provenance.e_strategy);
+      ("seed", Int e.Provenance.e_seed);
+      ("vcs", Int e.Provenance.e_vcs);
+      ("escape_fallback", Bool e.Provenance.e_escape_fallback);
+      ("backtracks", Int e.Provenance.e_backtracks);
+      ("impasses", Int e.Provenance.e_impasses);
+      ("hops", List (List.map hop_to_json e.Provenance.e_hops)) ]
+
 let with_spans f =
   let was = Span.enabled () in
   Span.reset ();

@@ -168,6 +168,23 @@ val telemetry_to_json : Nue_sim.Sim.telemetry -> Json.t
     mean), latency percentiles from the histogram, and the attributed
     deadlock wait cycle (empty list when the run completed). *)
 
+(** {1 Provenance (the [explain]/[inspect] layer)} *)
+
+val with_provenance :
+  (unit -> 'a) -> 'a * Nue_core.Provenance.run option
+(** Run a thunk with the routing-provenance recorder enabled and return
+    its result together with the recorded run ([None] if the thunk never
+    routed with Nue). Restores the recorder's previous state, also on
+    exception. *)
+
+val explanation_to_json :
+  Nue_routing.Table.t -> Nue_core.Provenance.explanation -> Json.t
+(** The [nue_route explain --format json] rendering: pair metadata
+    (layer, escape root, partition strategy, seed, VCs, fallback and
+    backtrack counts) plus one object per hop with the admitted
+    dependency check and the rejected alternatives (including which
+    omega condition fired and the deduplicated retry count). *)
+
 (** {1 Tracing (the observability layer)}
 
     Linking the pipeline installs [Unix.gettimeofday] as

@@ -21,3 +21,19 @@ val to_string_pretty : t -> string
 
 val escape : string -> string
 (** The quoted, escaped form of a string literal. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Recursive-descent parser for the subset this library emits (RFC 8259
+    minus astral \u escapes, which are kept verbatim). Round-trips
+    [to_string]/[to_string_pretty] output. Used by [bench diff] to read
+    historical reports back.
+    @raise Parse_error on malformed input, with a byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the value bound to [k]; [None] on missing
+    keys and non-objects. *)
+
+val to_float_opt : t -> float option
+(** Numeric value of an [Int] or [Float] node. *)

@@ -47,6 +47,12 @@ let path t ~src ~dest =
   in
   go src 0 []
 
+let path_nodes t ~src ~dest =
+  match path t ~src ~dest with
+  | None -> None
+  | Some channels ->
+    Some (src :: List.map (fun c -> Network.dst t.net c) channels)
+
 let vl_of t ~src ~dest ~hop ~channel =
   match t.vl with
   | All_zero -> 0

@@ -55,6 +55,14 @@ val path : t -> src:int -> dest:int -> int list option
 (** Channel sequence from [src] to [dest]; [None] if the table loops or
     dead-ends before reaching [dest]. *)
 
+val path_nodes : t -> src:int -> dest:int -> int list option
+(** Node sequence from [src] to [dest] inclusive ([src] first); [None]
+    exactly when {!path} is. *)
+
+val vl_of : t -> src:int -> dest:int -> hop:int -> channel:int -> int
+(** Virtual lane of the [hop]-th channel of the pair's path (the lookup
+    {!path_with_vls} performs per hop, exposed for per-hop diagnosis). *)
+
 val path_with_vls : t -> src:int -> dest:int -> (int * int) list option
 (** Like [path] but each hop is paired with its virtual lane. *)
 

@@ -136,6 +136,73 @@ let connected ?sources (t : Table.t) =
          sources)
     t.dests
 
+(* {1 Witness rendering}
+
+   [dependency_cycle] witnesses come out as raw (channel, vl) pairs —
+   useless in a failure message without the channel endpoints. Render
+   them against the network so a broken engine's test output reads as a
+   hold-and-wait story. *)
+
+let unit_label (t : Table.t) (c, vl) =
+  let s = Network.src t.net c and d = Network.dst t.net c in
+  let name n =
+    Printf.sprintf "%s%d" (if Network.is_switch t.net n then "s" else "t") n
+  in
+  Printf.sprintf "c%d (%s->%s, vl %d)" c (name s) (name d) vl
+
+let render_cycle (t : Table.t) cycle =
+  match cycle with
+  | [] -> "empty dependency cycle (vacuously acyclic)\n"
+  | first :: _ ->
+    let buf = Buffer.create 256 in
+    let n = List.length cycle in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "dependency cycle of %d virtual channel(s) — each holds its \
+          channel and waits for the next:\n" n);
+    let rec go = function
+      | [] -> ()
+      | [ last ] ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s\n    -> waits for %s  (closing the cycle)\n"
+             (unit_label t last) (unit_label t first))
+      | u :: (v :: _ as rest) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s\n    -> waits for %s\n" (unit_label t u)
+             (unit_label t v));
+        go rest
+    in
+    go cycle;
+    Buffer.contents buf
+
+let cycle_to_dot (t : Table.t) cycle =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph dependency_cycle {\n";
+  add "  rankdir=LR;\n";
+  add "  node [shape=box, style=filled, fillcolor=mistyrose];\n";
+  let nc = Network.num_channels t.net in
+  let vid (c, vl) = (vl * nc) + c in
+  List.iter
+    (fun ((c, vl) as u) ->
+       add "  u%d [label=\"%s\"];\n" (vid u) (unit_label t (c, vl)))
+    cycle;
+  (match cycle with
+   | [] -> ()
+   | first :: _ ->
+     let rec edges = function
+       | [] -> ()
+       | [ last ] ->
+         add "  u%d -> u%d [color=red, penwidth=2.0];\n" (vid last)
+           (vid first)
+       | u :: (v :: _ as rest) ->
+         add "  u%d -> u%d [color=red, penwidth=2.0];\n" (vid u) (vid v);
+         edges rest
+     in
+     edges cycle);
+  add "}\n";
+  Buffer.contents buf
+
 let vls_used ?sources (t : Table.t) =
   let sources = match sources with Some s -> s | None -> default_sources t in
   let seen = Hashtbl.create 8 in

@@ -28,6 +28,15 @@ val induced_vcdg : ?sources:int array -> Table.t -> Nue_cdg.Digraph.t
 (** The induced virtual channel dependency graph; vertex ids are
     [vl * num_channels + channel]. *)
 
+val render_cycle : Table.t -> (int * int) list -> string
+(** Human-readable rendering of a [dependency_cycle] witness: one line
+    per (channel, vl) unit with its endpoints, chained by "waits for"
+    arrows and closed back to the first unit. *)
+
+val cycle_to_dot : Table.t -> (int * int) list -> string
+(** The same witness as a Graphviz digraph (red cycle edges, one box per
+    virtual channel). *)
+
 val vls_used : ?sources:int array -> Table.t -> int
 (** Number of distinct virtual lanes actually appearing on the table's
     paths (what Fig. 1b reports as the VCs a routing consumes). *)

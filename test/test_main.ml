@@ -14,6 +14,7 @@ let () =
          Test_sim.suite;
          Test_engine.suite;
          Test_obs.suite;
+         Test_provenance.suite;
          Test_span.suite;
          Test_heap_model.suite;
          Test_invariants.suite ])
