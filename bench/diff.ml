@@ -50,6 +50,20 @@ let moved a b =
   Float.abs (b -. a) > eps
   && (a = 0.0 || Float.abs ((b -. a) /. a) > 0.005)
 
+(* Tally of one comparison. Added/removed keys are tracked apart from
+   changed values: a quantity present in only one report (a new
+   experiment section, a retired counter) is coverage drift, not a
+   perf regression, and must not trip the "no measurable differences"
+   check CI greps for. *)
+type tally = { changed : int; added : int; removed : int }
+
+let no_tally = { changed = 0; added = 0; removed = 0 }
+
+let ( ++ ) a b =
+  { changed = a.changed + b.changed;
+    added = a.added + b.added;
+    removed = a.removed + b.removed }
+
 let diff_experiment name base cur =
   let base_flat = flatten base and cur_flat = flatten cur in
   let base_tbl = Hashtbl.create 64 in
@@ -77,33 +91,44 @@ let diff_experiment name base cur =
              if b = 0.0 then "" else Printf.sprintf " (%+.1f%%)" (100.0 *. (v -. b) /. b)
            in
            Printf.printf "  %-40s %14g -> %-14g%s\n" k b v pct
-         | None, Some v -> Printf.printf "  %-40s %14s -> %-14g (new)\n" k "-" v
-         | Some b, None -> Printf.printf "  %-40s %14g -> %-14s (gone)\n" k b "-"
+         | None, Some v -> Printf.printf "  %-40s %14s -> %-14g (added)\n" k "-" v
+         | Some b, None -> Printf.printf "  %-40s %14g -> %-14s (removed)\n" k b "-"
          | None, None -> ())
       changes
   end;
-  List.length changes
+  List.fold_left
+    (fun acc (_, b, v) ->
+       match (b, v) with
+       | Some _, Some _ -> acc ++ { no_tally with changed = 1 }
+       | None, Some _ -> acc ++ { no_tally with added = 1 }
+       | Some _, None -> acc ++ { no_tally with removed = 1 }
+       | None, None -> acc)
+    no_tally changes
 
 let run ~baseline ~current =
   let base = read_report baseline and cur = read_report current in
   Printf.printf "bench diff: %s (baseline) vs %s\n\n" baseline current;
   let base_exps = experiments base and cur_exps = experiments cur in
-  let total = ref 0 in
+  let total = ref no_tally in
   List.iter
     (fun (name, cur_v) ->
        match List.assoc_opt name base_exps with
-       | Some base_v -> total := !total + diff_experiment name base_v cur_v
+       | Some base_v -> total := !total ++ diff_experiment name base_v cur_v
        | None ->
-         Printf.printf "%s: (not in baseline)\n" name;
-         incr total)
+         Printf.printf "%s: (added since baseline)\n" name;
+         total := !total ++ { no_tally with added = 1 })
     cur_exps;
   List.iter
     (fun (name, _) ->
        if not (List.mem_assoc name cur_exps) then begin
-         Printf.printf "%s: (dropped since baseline)\n" name;
-         incr total
+         Printf.printf "%s: (removed since baseline)\n" name;
+         total := !total ++ { no_tally with removed = 1 }
        end)
     base_exps;
-  if !total = 0 then print_endline "no measurable differences"
-  else Printf.printf "\n%d differing quantit%s\n" !total
-      (if !total = 1 then "y" else "ies")
+  let t = !total in
+  if t.changed = 0 then print_endline "no measurable differences"
+  else
+    Printf.printf "\n%d differing quantit%s\n" t.changed
+      (if t.changed = 1 then "y" else "ies");
+  if t.added > 0 || t.removed > 0 then
+    Printf.printf "coverage drift: %d added, %d removed\n" t.added t.removed

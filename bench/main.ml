@@ -12,8 +12,8 @@
 let usage () =
   print_endline
     "experiments: tab1 topo-stats trace telemetry fig1a fig1b fig9 sec51 fig10\n\
-    \             fig11 abl-partition abl-root abl-opt abl-weights abl-impasse\n\
-    \             bechamel\n\
+    \             fig11 churn abl-partition abl-root abl-opt abl-weights\n\
+    \             abl-impasse bechamel\n\
      flags: --full (paper-scale), --sim (flit-level simulation),\n\
     \        --no-sim, --topos N (fig9 topology count)\n\
      every run writes machine-readable results to BENCH_nue.json and\n\
@@ -62,7 +62,8 @@ let () =
   in
   let wanted = if wanted = [] then
       [ "tab1"; "trace"; "telemetry"; "fig1a"; "fig9"; "fig10"; "fig11";
-        "abl-partition"; "abl-root"; "abl-opt"; "abl-weights"; "abl-impasse" ]
+        "churn"; "abl-partition"; "abl-root"; "abl-opt"; "abl-weights";
+        "abl-impasse" ]
     else wanted
   in
   let has x = List.mem x wanted in
@@ -80,6 +81,7 @@ let () =
     if has "fig9" || has "sec51" then Fig9.run ~full ~topos:!topos ();
     if has "fig10" then Fig10.run ~full ~sim:sim_flag ();
     if has "fig11" then Fig11.run ~full ();
+    if has "churn" then Churn_bench.run ~full ();
     if has "abl-partition" then Ablations.partitioning ~full ();
     if has "abl-root" then Ablations.root_selection ~full ();
     if has "abl-opt" then Ablations.optimizations ~full ();

@@ -15,6 +15,7 @@
      compare  run every registered engine side by side
      explain  hop-by-hop provenance trail of one (src, dst) pair
      inspect  render the per-layer complete CDG / acyclic digraph as DOT
+     churn    replay a live fault/repair stream with incremental rerouting
 
    Example:
      nue_route route --topology torus --dims 4x4x3 --terminals 4 \
@@ -631,6 +632,159 @@ let inspect_cmd =
     Term.(const run $ build_t $ vcs_t $ layer_t $ pair_t $ dot_cdg_t
           $ dot_acyclic_t $ dot_witness_t)
 
+let churn_cmd =
+  let module Event = Nue_reconfig.Event in
+  let module Reconfig = Nue_reconfig.Reconfig in
+  let module Transition = Nue_reconfig.Transition in
+  let run built algorithm vcs seed kind events interval warmup threshold
+      replay record format =
+    let net = built.Experiment.net in
+    let stream =
+      if replay <> "" then begin
+        let ic = open_in replay in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        match Event.stream_of_string s with
+        | Ok evs -> evs
+        | Error msg ->
+          Printf.eprintf "%s: %s\n" replay msg;
+          exit 1
+      end
+      else begin
+        let prng = Nue_structures.Prng.create seed in
+        match kind with
+        | `Random -> Event.random_churn prng net ~events
+        | `Burst -> Event.burst_outage prng net ~fail:(max 1 (events / 2))
+        | `Flap -> Event.flapping_link prng net ~flaps:(max 1 (events / 2))
+      end
+    in
+    if record <> "" then begin
+      let oc = open_out record in
+      output_string oc (Event.stream_to_string stream);
+      close_out oc;
+      Printf.eprintf "wrote %s (%d events)\n" record (List.length stream)
+    end;
+    if stream = [] then begin
+      Printf.eprintf "no events to apply (topology too small to churn?)\n";
+      exit 1
+    end;
+    let state =
+      match Reconfig.init ~engine:algorithm ~vcs ~seed net with
+      | Ok s -> s
+      | Error msg ->
+        Printf.eprintf "initial routing failed: %s\n" msg;
+        exit 1
+    in
+    match
+      Reconfig.simulate_churn ~threshold ~interval ~warmup state stream
+    with
+    | Error msg ->
+      Printf.eprintf "churn failed: %s\n" msg;
+      exit 1
+    | Ok churn ->
+      (match format with
+       | `Json ->
+         print_endline (Json.to_string_pretty (Reconfig.churn_to_json churn))
+       | _ ->
+         Format.printf "%a@." Network.pp net;
+         Printf.printf "churn: %d events, engine %s, %d VCs, seed %d\n"
+           (List.length churn.Reconfig.steps) algorithm vcs seed;
+         List.iteri
+           (fun i (s : Reconfig.step) ->
+              Printf.printf
+                "  %2d  %-14s affected %3d (%5.1f%%)  %-11s %-6s %.1f ms\n" i
+                (Event.to_string s.Reconfig.event)
+                (Array.length s.Reconfig.affected)
+                (100.0 *. s.Reconfig.affected_fraction)
+                (match s.Reconfig.kind with
+                 | Reconfig.Incremental -> "incremental"
+                 | Reconfig.Full -> "full")
+                (match s.Reconfig.verdict with
+                 | Transition.Safe -> "safe"
+                 | Transition.Unsafe _ -> "staged")
+                (1000.0 *. s.Reconfig.seconds);
+              match s.Reconfig.verdict with
+              | Transition.Unsafe { rendered; drain; _ } ->
+                print_string rendered;
+                Printf.printf "      staged drain of %d destination(s)\n"
+                  (Array.length drain)
+              | Transition.Safe -> ())
+           churn.Reconfig.steps;
+         let o = churn.Reconfig.outcome in
+         Printf.printf
+           "flit sim: %d/%d packets, %d cycles, deadlock=%b, %.2f GB/s, \
+            avg latency %.0f cycles\n"
+           o.Sim.delivered_packets o.Sim.total_packets o.Sim.cycles
+           o.Sim.deadlock o.Sim.aggregate_gbs o.Sim.avg_packet_latency;
+         List.iteri
+           (fun i (r : Sim.swap_record) ->
+              Printf.printf
+                "  swap %2d: requested @%d, active @%d, %d pkts / %d flits \
+                 in flight, drained @%d\n"
+                i r.Sim.swap_at r.Sim.activated_at r.Sim.in_flight_packets
+                r.Sim.in_flight_flits r.Sim.drained_at)
+           churn.Reconfig.swap_records;
+         Printf.printf "planning: %.3f s total (%.0f events/s)\n"
+           churn.Reconfig.plan_seconds
+           (if churn.Reconfig.plan_seconds > 0.0 then
+              float_of_int (List.length churn.Reconfig.steps)
+              /. churn.Reconfig.plan_seconds
+            else 0.0));
+      if churn.Reconfig.outcome.Sim.deadlock then exit 3
+  in
+  let kind_t =
+    Arg.(value
+         & opt (enum [ ("random", `Random); ("burst", `Burst); ("flap", `Flap) ])
+             `Random
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"Generated stream shape: $(b,random) alternating churn, \
+                   $(b,burst) outage-and-recovery, $(b,flap) one flapping \
+                   link.")
+  in
+  let events_t =
+    Arg.(value & opt int 20
+         & info [ "events" ] ~docv:"N"
+             ~doc:"Events to generate (burst fails N/2 links; flap flaps \
+                   N/2 times).")
+  in
+  let interval_t =
+    Arg.(value & opt int 2000
+         & info [ "interval" ] ~docv:"CYCLES"
+             ~doc:"Simulated cycles between table swaps.")
+  in
+  let warmup_t =
+    Arg.(value & opt int 1000
+         & info [ "warmup" ] ~docv:"CYCLES"
+             ~doc:"Simulated cycles before the first swap.")
+  in
+  let threshold_t =
+    Arg.(value & opt float 0.5
+         & info [ "threshold" ] ~docv:"FRACTION"
+             ~doc:"Affected-destination fraction above which the planner \
+                   reroutes the whole table instead of incrementally.")
+  in
+  let replay_t =
+    Arg.(value & opt string ""
+         & info [ "replay" ] ~docv:"PATH"
+             ~doc:"Replay a recorded event stream instead of generating \
+                   one (one `fail U V' / `repair U V' per line).")
+  in
+  let record_t =
+    Arg.(value & opt string ""
+         & info [ "record" ] ~docv:"PATH"
+             ~doc:"Write the generated event stream here for later \
+                   $(b,--replay).")
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Drive a live fault/repair event stream: incremental \
+             rerouting, union-CDG transition verification and mid-run \
+             table swaps in the flit simulator")
+    Term.(const run $ build_t $ algorithm_t $ vcs_t $ seed_t $ kind_t
+          $ events_t $ interval_t $ warmup_t $ threshold_t $ replay_t
+          $ record_t $ format_t)
+
 let compare_cmd =
   let run built vcs trace =
     Format.printf "%a@.@." Network.pp built.Experiment.net;
@@ -682,4 +836,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ route_cmd; sim_cmd; dump_cmd; export_cmd; compare_cmd;
-            explain_cmd; inspect_cmd ]))
+            explain_cmd; inspect_cmd; churn_cmd ]))

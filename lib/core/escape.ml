@@ -19,51 +19,66 @@ let next_toward t ~dest =
     Hashtbl.replace t.memo dest a;
     a
 
-let prepare cdg ~root ~dests =
+exception Refused
+
+let prepare_gen ~strict cdg ~root ~dests =
   let net = Complete_cdg.network cdg in
   let tree = Graph_algo.spanning_tree net ~root in
   let t = { cdg; tree; initial_deps = 0; memo = Hashtbl.create 64 } in
-  Array.iter
-    (fun dest ->
-       let next = next_toward t ~dest in
-       for node = 0 to Network.num_nodes net - 1 do
-         if node <> dest then begin
-           let c_out = next.(node) in
-           if c_out >= 0 then begin
-             ignore (Complete_cdg.use_channel cdg c_out);
-             (* Every tree channel into [node] can carry escape traffic
-                for [dest] (any source may sit behind it), except the
-                reverse of [c_out] (a U-turn is not a dependency). *)
-             Array.iter
-               (fun c_in ->
-                  if
-                    t.tree.Graph_algo.tree_channel.(c_in)
-                    && Network.src net c_in <> Network.dst net c_out
-                  then begin
-                    match Complete_cdg.find_slot cdg ~from:c_in ~to_:c_out with
-                    | None -> ()
-                    | Some slot ->
-                      if Complete_cdg.edge_omega cdg ~from:c_in ~slot = 0
-                      then begin
-                        let ok =
-                          Complete_cdg.try_use_edge cdg ~from:c_in ~slot
-                        in
-                        (* Tree-induced dependencies can never close a
-                           cycle. *)
-                        assert ok;
-                        t.initial_deps <- t.initial_deps + 1
-                      end
-                  end)
-               (Network.in_channels net node)
+  match
+    Array.iter
+      (fun dest ->
+         let next = next_toward t ~dest in
+         for node = 0 to Network.num_nodes net - 1 do
+           if node <> dest then begin
+             let c_out = next.(node) in
+             if c_out >= 0 then begin
+               ignore (Complete_cdg.use_channel cdg c_out);
+               (* Every tree channel into [node] can carry escape traffic
+                  for [dest] (any source may sit behind it), except the
+                  reverse of [c_out] (a U-turn is not a dependency). *)
+               Array.iter
+                 (fun c_in ->
+                    if
+                      t.tree.Graph_algo.tree_channel.(c_in)
+                      && Network.src net c_in <> Network.dst net c_out
+                    then begin
+                      match Complete_cdg.find_slot cdg ~from:c_in ~to_:c_out with
+                      | None -> ()
+                      | Some slot ->
+                        if Complete_cdg.edge_omega cdg ~from:c_in ~slot = 0
+                        then begin
+                          let ok =
+                            Complete_cdg.try_use_edge cdg ~from:c_in ~slot
+                          in
+                          if ok then t.initial_deps <- t.initial_deps + 1
+                          else if strict then
+                            (* Tree-induced dependencies can never close
+                               a cycle on a pristine CDG. *)
+                            assert false
+                          else raise Refused
+                        end
+                    end)
+                 (Network.in_channels net node)
+             end
            end
-         end
-       done)
-    dests;
-  if Provenance.enabled () then
-    Provenance.record_escape_prepared
-      ~channels:tree.Graph_algo.tree_channel
-      ~initial_deps:t.initial_deps;
-  t
+         done)
+      dests
+  with
+  | () ->
+    if Provenance.enabled () then
+      Provenance.record_escape_prepared
+        ~channels:tree.Graph_algo.tree_channel
+        ~initial_deps:t.initial_deps;
+    Some t
+  | exception Refused -> None
+
+let prepare cdg ~root ~dests =
+  match prepare_gen ~strict:true cdg ~root ~dests with
+  | Some t -> t
+  | None -> assert false
+
+let prepare_into cdg ~root ~dests = prepare_gen ~strict:false cdg ~root ~dests
 
 let tree t = t.tree
 

@@ -20,6 +20,17 @@ val prepare :
     destinations as used.
     @raise Invalid_argument if the network is disconnected. *)
 
+val prepare_into :
+  Nue_cdg.Complete_cdg.t ->
+  root:int ->
+  dests:int array ->
+  t option
+(** Like [prepare], but for a CDG whose orientation is already partly
+    decided (e.g. replayed from an existing routing, as the incremental
+    rerouter does): the tree dependencies are admitted through
+    Algorithm 3 and may be refused. [None] when one is — discard the
+    CDG then, as the failed attempt leaves edges used and one blocked. *)
+
 val tree : t -> Nue_netgraph.Graph_algo.tree
 
 val initial_dependencies : t -> int

@@ -101,6 +101,46 @@ let removed base remap =
     (Network.duplex_pairs base);
   (switches, List.rev !links)
 
+let random_link_repairs prng ~base remap ~fraction =
+  let _, cut = removed base remap in
+  let cut = Array.of_list cut in
+  let target =
+    if fraction <= 0.0 || Array.length cut = 0 then 0
+    else
+      min (Array.length cut)
+        (max 1 (int_of_float (fraction *. float_of_int (Array.length cut))))
+  in
+  if target = 0 then remap
+  else begin
+    Prng.shuffle prng cut;
+    (* The first [target] shuffled pairs come back; the rest stay cut.
+       Rebuild from the base so channel ids keep the base ordering. *)
+    let still_cut = Array.sub cut target (Array.length cut - target) in
+    let dead_node =
+      Array.init (Network.num_nodes base) (fun i -> remap.of_old.(i) < 0)
+    in
+    let duplex = Network.duplex_pairs base in
+    let dead_link = Array.make (Array.length duplex) false in
+    Array.iter
+      (fun (u, v) ->
+         let found = ref false in
+         Array.iteri
+           (fun l (a, b) ->
+              if
+                (not !found)
+                && (not dead_link.(l))
+                && ((a = u && b = v) || (a = v && b = u))
+              then begin
+                dead_link.(l) <- true;
+                found := true
+              end)
+           duplex;
+         if not !found then
+           invalid_arg "Fault.random_link_repairs: inconsistent remap")
+      still_cut;
+    rebuild base ~dead_node ~dead_link
+  end
+
 let random_link_failures prng net ~fraction =
   let duplex = Network.duplex_pairs net in
   let eligible = ref [] in

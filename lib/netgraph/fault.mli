@@ -37,3 +37,13 @@ val random_link_failures :
     at least 1 if fraction > 0), chosen uniformly among removals that
     keep the network connected. Terminal links never fail. Used for the
     1% injected link failures of Fig. 11. *)
+
+val random_link_repairs :
+  Nue_structures.Prng.t -> base:Network.t -> remap -> fraction:float -> remap
+(** The inverse of {!random_link_failures}: restore [fraction] of the
+    duplex links the [remap] removed from [base] (rounded down, at least
+    1 if fraction > 0 and any link was cut), chosen uniformly among the
+    cut switch-to-switch links whose both endpoints survived. Removed
+    switches stay removed; repairing links never disconnects. The result
+    maps [base] to the less-degraded network. Sequences are byte-stable:
+    the same seed picks the same repairs. *)

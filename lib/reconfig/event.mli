@@ -1,0 +1,58 @@
+(** Fault/repair event streams for online churn.
+
+    An event names one duplex inter-switch link of a {e base} network by
+    its endpoints; a stream is an ordered sequence of such events. The
+    seeded generators emit only {e valid} streams: every [Fail] keeps
+    the network connected given the failures already in effect, and
+    every [Repair] targets a link that is currently failed. Replay
+    round-trips through a line-oriented text format so recorded churn
+    can be fed back deterministically. *)
+
+type t =
+  | Fail of int * int    (** cut one duplex link between these switches *)
+  | Repair of int * int  (** restore one previously cut duplex link *)
+
+val endpoints : t -> int * int
+
+val is_fail : t -> bool
+
+val to_string : t -> string
+(** ["fail U V"] / ["repair U V"]. *)
+
+val of_string : string -> (t, string) result
+
+(** {1 Replay format}
+
+    One event per line; blank lines and [#] comments are skipped. *)
+
+val stream_to_string : t list -> string
+
+val stream_of_string : string -> (t list, string) result
+(** First malformed line wins the error (with its line number). *)
+
+(** {1 Seeded generators}
+
+    All generators draw from the given PRNG stream only, so the same
+    seed yields a byte-identical stream. Only switch-to-switch links
+    participate (terminal links never fail, as in
+    {!Nue_netgraph.Fault.random_link_failures}). *)
+
+val random_churn :
+  Nue_structures.Prng.t -> Nue_netgraph.Network.t -> events:int -> t list
+(** Alternating random churn: each step fails a random eligible link
+    (skipping any whose loss would disconnect the network) or repairs a
+    random currently-failed one, with equal probability once failures
+    exist. May return fewer than [events] events if no valid move
+    remains. *)
+
+val burst_outage :
+  Nue_structures.Prng.t -> Nue_netgraph.Network.t -> fail:int -> t list
+(** A burst of up to [fail] link failures (connectivity permitting)
+    followed by the matching repairs in reverse order — the
+    "rack power loss and recovery" scenario. *)
+
+val flapping_link :
+  Nue_structures.Prng.t -> Nue_netgraph.Network.t -> flaps:int -> t list
+(** One randomly chosen non-cut link failing and recovering [flaps]
+    times — the classic flapping-transceiver scenario. Returns [] if no
+    single link can fail without disconnecting. *)

@@ -1,0 +1,72 @@
+module Network = Nue_netgraph.Network
+module Table = Nue_routing.Table
+module Verify = Nue_routing.Verify
+module Digraph = Nue_cdg.Digraph
+
+type verdict =
+  | Safe
+  | Unsafe of {
+      cycle : (int * int) list;
+      rendered : string;
+      drain : int array;
+    }
+
+(* A destination's VL usage, reduced to a comparable value. [Per_hop] is
+   a closure and cannot be compared — [None] marks it opaque. *)
+let dest_vl_signature (t : Table.t) pos =
+  match t.vl with
+  | Table.All_zero -> Some [| 0 |]
+  | Table.Per_dest a -> Some [| a.(pos) |]
+  | Table.Per_pair a -> Some (Array.copy a.(pos))
+  | Table.Per_hop _ -> None
+
+let changed_dests ~(old_table : Table.t) ~(new_table : Table.t) =
+  let n = Network.num_nodes old_table.net in
+  let changed = ref [] in
+  let note d = changed := d :: !changed in
+  for d = n - 1 downto 0 do
+    let po = Table.dest_position old_table d in
+    let pn = Table.dest_position new_table d in
+    match (po, pn) with
+    | -1, -1 -> ()
+    | -1, _ | _, -1 -> note d
+    | po, pn ->
+      if old_table.next_channel.(po) <> new_table.next_channel.(pn) then
+        note d
+      else begin
+        match (dest_vl_signature old_table po, dest_vl_signature new_table pn)
+        with
+        | Some a, Some b when a = b -> ()
+        | _ -> note d
+      end
+  done;
+  Array.of_list !changed
+
+let verify ~(old_table : Table.t) ~(new_table : Table.t) =
+  let nc = Network.num_channels old_table.net in
+  if
+    Network.num_nodes old_table.net <> Network.num_nodes new_table.net
+    || nc <> Network.num_channels new_table.net
+  then
+    invalid_arg
+      "Transition.verify: tables are on different networks (node or \
+       channel counts differ)";
+  let g_old = Verify.induced_vcdg old_table in
+  let g_new = Verify.induced_vcdg new_table in
+  let vertices = max (Digraph.num_vertices g_old) (Digraph.num_vertices g_new) in
+  let union = Digraph.create vertices in
+  let absorb g =
+    for v = 0 to Digraph.num_vertices g - 1 do
+      Digraph.iter_succ g v (fun w ->
+          if not (Digraph.mem_edge union v w) then Digraph.add_edge union v w)
+    done
+  in
+  absorb g_old;
+  absorb g_new;
+  match Digraph.find_cycle union with
+  | None -> Safe
+  | Some vs ->
+    let cycle = List.map (fun v -> (v mod nc, v / nc)) vs in
+    let rendered = Verify.render_cycle new_table cycle in
+    let drain = changed_dests ~old_table ~new_table in
+    Unsafe { cycle; rendered; drain }

@@ -1,0 +1,47 @@
+(** Deadlock-freedom of a live routing-table transition.
+
+    During an in-place reconfiguration, packets injected under the old
+    table coexist in the fabric with packets injected under the new one.
+    The combined system is deadlock-free iff the {e union} of the two
+    tables' virtual channel dependency graphs is acyclic (the classic
+    update-phase result: each table being individually acyclic is not
+    enough — old-route holds can wait on new-route holds and close a
+    cycle that neither table contains alone).
+
+    [verify] builds that union on a shared vertex space
+    ([vl * num_channels + channel], as in
+    {!Nue_routing.Verify.induced_vcdg}) and searches it for a cycle.
+    [Safe] means the new table may be swapped in directly while traffic
+    flows. [Unsafe] carries a witness cycle plus a staged-drain plan:
+    the destinations whose routes change, whose traffic must be
+    quiesced and drained before the swap (draining only those
+    destinations removes every old-route dependency that differs from
+    the new table, which breaks the mixed cycle). *)
+
+type verdict =
+  | Safe
+  | Unsafe of {
+      cycle : (int * int) list;
+          (** witness: (channel, vl) units of the mixed-dependency cycle *)
+      rendered : string;
+          (** the witness via {!Nue_routing.Verify.render_cycle} *)
+      drain : int array;
+          (** staged-drain plan: destinations (ascending) whose traffic
+              must drain before the swap *)
+    }
+
+val changed_dests :
+  old_table:Nue_routing.Table.t -> new_table:Nue_routing.Table.t -> int array
+(** Destinations (ascending, base-node ids) routed differently by the
+    two tables: present in only one of them, with differing next-channel
+    rows, or with differing virtual-lane assignments. A [Per_hop]
+    assignment on either side is opaque and conservatively marks every
+    destination changed. *)
+
+val verify :
+  old_table:Nue_routing.Table.t -> new_table:Nue_routing.Table.t -> verdict
+(** Check the transition [old_table -> new_table]. Both tables must be
+    on the same network (same node and channel ids); they may use
+    different numbers of virtual lanes.
+    @raise Invalid_argument if the tables disagree on node or channel
+    counts. *)

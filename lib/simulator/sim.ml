@@ -72,49 +72,85 @@ type telemetry = {
   deadlock_wait_cycle : (int * int) list;
 }
 
-(* A packet's route: channel and VL per hop, fixed at creation. *)
+(* {1 Live reconfiguration (table swaps)} *)
+
+type swap = {
+  at_cycle : int;
+  table : Nue_routing.Table.t;
+  staged : bool;
+}
+
+type swap_record = {
+  swap_at : int;
+  activated_at : int;
+  in_flight_packets : int;
+  in_flight_flits : int;
+  drained_at : int;
+}
+
+(* A packet's route: channel and VL per hop, assigned from the table
+   active at injection time ([hops] is [||] until then), so a table
+   swapped mid-run only steers packets injected afterwards — packets in
+   flight finish on their old route, which is exactly the old/new
+   coexistence the union-CDG transition check certifies safe. *)
 type packet = {
+  p_src : int;
+  p_dst : int;
   bytes : int;
   flits : int;
-  hops : int array;
-  hop_vl : int array;
+  mutable hops : int array;
+  mutable hop_vl : int array;
   mutable injected : int;
   mutable inject_cycle : int;
+  mutable generation : int;  (** table activations seen when injected *)
 }
 
 let run_impl ~(config : config) ~(telem : telemetry_config option)
-    (table : Table.t) ~traffic =
+    ~(swaps : swap list) (table : Table.t) ~traffic =
   let net = table.Table.net in
   let nc = Network.num_channels net in
   let nn = Network.num_nodes net in
-  let vls = max 1 table.Table.num_vls in
+  let swaps = List.sort (fun a b -> compare a.at_cycle b.at_cycle) swaps in
+  List.iter
+    (fun s ->
+       if Network.num_channels s.table.Table.net <> nc
+          || Network.num_nodes s.table.Table.net <> nn
+       then
+         invalid_arg
+           "Sim.run_with_swaps: swap table is not on the same network")
+    swaps;
+  (* Buffer/credit state is sized for the largest VL range any of the
+     tables (initial or swapped-in) may use. *)
+  let vls =
+    List.fold_left
+      (fun acc (s : swap) -> max acc s.table.Table.num_vls)
+      (max 1 table.Table.num_vls) swaps
+  in
   let flits_of_bytes b = (b + config.flit_bytes - 1) / config.flit_bytes in
-  (* Split messages into MTU packets and precompute routes. *)
+  (* Split messages into MTU packets; the initial table must route every
+     pair (same contract as the static entry points). *)
   let packets = ref [] in
   let npackets = ref 0 in
   List.iter
     (fun { Traffic.src; dst; bytes } ->
        if not (Network.is_terminal net src && Network.is_terminal net dst)
        then invalid_arg "Sim.run: traffic endpoints must be terminals";
-       let hops_vls =
-         match Table.path_with_vls table ~src ~dest:dst with
-         | Some h -> h
-         | None -> invalid_arg "Sim.run: unrouted source-destination pair"
-       in
-       let hops = Array.of_list (List.map fst hops_vls) in
-       let hop_vl = Array.of_list (List.map snd hops_vls) in
-       Array.iter
-         (fun v ->
-            if v < 0 || v >= vls then
-              invalid_arg "Sim.run: path VL outside the table's VL range")
-         hop_vl;
+       (match Table.path_with_vls table ~src ~dest:dst with
+        | Some hops_vls ->
+          List.iter
+            (fun (_, v) ->
+               if v < 0 || v >= vls then
+                 invalid_arg "Sim.run: path VL outside the table's VL range")
+            hops_vls
+        | None -> invalid_arg "Sim.run: unrouted source-destination pair");
        let remaining = ref bytes in
        while !remaining > 0 do
          let chunk = min !remaining config.mtu_bytes in
          remaining := !remaining - chunk;
          packets :=
-           { bytes = chunk; flits = flits_of_bytes chunk; hops; hop_vl;
-             injected = 0; inject_cycle = -1 }
+           { p_src = src; p_dst = dst; bytes = chunk;
+             flits = flits_of_bytes chunk; hops = [||]; hop_vl = [||];
+             injected = 0; inject_cycle = -1; generation = 0 }
            :: !packets;
          incr npackets
        done)
@@ -124,11 +160,7 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
   (* Flit encoding: packet id * 2 + tail flag. *)
   let inj_queue = Array.make nn [] in
   Array.iteri
-    (fun pid p ->
-       if Array.length p.hops > 0 then begin
-         let src = Network.src net p.hops.(0) in
-         inj_queue.(src) <- pid :: inj_queue.(src)
-       end)
+    (fun pid p -> inj_queue.(p.p_src) <- pid :: inj_queue.(p.p_src))
     packets;
   let inj_queue =
     Array.map (fun l -> Queue.of_seq (List.to_seq (List.rev l))) inj_queue
@@ -144,8 +176,25 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
   let pipe = Queue.create () in
   let delivered_packets = ref 0 in
   let delivered_bytes = ref 0 in
+  let dropped_packets = ref 0 in
   let cycle = ref 0 in
   let last_movement = ref 0 in
+  (* Live-reconfiguration state: the active table, how many activations
+     have happened (stamped on packets as their generation), and how
+     many injected packets are still undelivered. *)
+  let active = ref table in
+  let activations = ref 0 in
+  let in_flight = ref 0 in
+  let swap_arr = Array.of_list swaps in
+  let nswaps = Array.length swap_arr in
+  let records =
+    Array.init nswaps (fun i ->
+        { swap_at = swap_arr.(i).at_cycle; activated_at = -1;
+          in_flight_packets = 0; in_flight_flits = 0; drained_at = -1 })
+  in
+  let pending = Array.make nswaps 0 in
+  let next_swap = ref 0 in
+  let draining = ref false in
   let moved = ref false in
   let latency_sum = ref 0.0 in
   let latencies = ref [] in
@@ -203,6 +252,72 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
     end;
     ignore t
   in
+  (* {2 Swap bookkeeping} *)
+  let buffered_flits_total () =
+    Array.fold_left (fun acc q -> acc + Queue.length q) 0 fifos
+    + Queue.length pipe
+  in
+  (* Stamp what the swap disrupts at request time: the packets (and
+     their flits) already committed to the pre-swap table. *)
+  let request_swap k =
+    records.(k) <-
+      { records.(k) with
+        in_flight_packets = !in_flight;
+        in_flight_flits = buffered_flits_total () };
+    pending.(k) <- !in_flight;
+    if !in_flight = 0 then
+      records.(k) <- { records.(k) with drained_at = !cycle }
+  in
+  let activate_swap k =
+    active := swap_arr.(k).table;
+    incr activations;
+    records.(k) <- { records.(k) with activated_at = !cycle };
+    if spans_on then
+      Span.instant "sim.swap"
+        ~args:
+          [ ("index", Span.Int k);
+            ("staged", Span.Bool swap_arr.(k).staged);
+            ("in_flight", Span.Int records.(k).in_flight_packets) ]
+  in
+  (* Activate due swaps: a direct swap takes effect at its cycle; a
+     staged one first drains the fabric (injection pauses, in-flight
+     packets finish on their old routes), then activates — the drain is
+     the conservative fallback for transitions the union-CDG check could
+     not prove deadlock-free. *)
+  let process_swaps () =
+    if !next_swap < nswaps then begin
+      if !draining then begin
+        if !in_flight = 0 then begin
+          activate_swap !next_swap;
+          incr next_swap;
+          draining := false
+        end
+      end
+      else begin
+        let s = swap_arr.(!next_swap) in
+        if !cycle >= s.at_cycle then begin
+          request_swap !next_swap;
+          if s.staged then draining := true
+          else begin
+            activate_swap !next_swap;
+            incr next_swap
+          end
+        end
+      end
+    end
+  in
+  (* A delivered packet may complete the drain window of any swap that
+     was requested while it was in flight. *)
+  let note_delivery p =
+    let hi = if !draining then !next_swap else !next_swap - 1 in
+    for k = 0 to min hi (nswaps - 1) do
+      if records.(k).drained_at < 0 && p.generation <= k then begin
+        pending.(k) <- pending.(k) - 1;
+        if pending.(k) = 0 then
+          records.(k) <- { records.(k) with drained_at = !cycle }
+      end
+    done
+  in
   let hop_index p c =
     let rec go i =
       if i >= Array.length p.hops then -1
@@ -221,22 +336,60 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
       pipe;
     moved := true
   in
+  (* Assign a packet its route from the active table on first contact.
+     A pair the active table no longer routes (transient churn states)
+     is dropped rather than left to clog the injection queue. *)
+  let route_packet pid =
+    let p = packets.(pid) in
+    if Array.length p.hops > 0 then true
+    else begin
+      match
+        Table.path_with_vls !active ~src:p.p_src ~dest:p.p_dst
+      with
+      | exception Invalid_argument _ -> false
+      | None -> false
+      | Some hops_vls ->
+        p.hops <- Array.of_list (List.map fst hops_vls);
+        p.hop_vl <- Array.of_list (List.map snd hops_vls);
+        Array.iter
+          (fun v ->
+             if v < 0 || v >= vls then
+               invalid_arg "Sim.run: path VL outside the table's VL range")
+          p.hop_vl;
+        Array.length p.hops > 0
+    end
+  in
   let try_inject c u_node =
     (not (Queue.is_empty inj_queue.(u_node)))
     && begin
       let pid = Queue.peek inj_queue.(u_node) in
       let p = packets.(pid) in
-      let vl = p.hop_vl.(0) in
-      let own = owner.(unit_id c vl) in
-      if (own = -1 || own = pid) && credits.(unit_id c vl) > 0 then begin
-        if p.inject_cycle < 0 then p.inject_cycle <- !cycle;
-        p.injected <- p.injected + 1;
-        let tail = p.injected = p.flits in
-        transmit c vl pid tail;
-        if tail then ignore (Queue.pop inj_queue.(u_node));
-        true
+      (* A drain pauses new packets only: one already partially injected
+         must finish, or its in-network head would wait forever for a
+         tail the drain is holding back. *)
+      if !draining && p.injected = 0 then false
+      else if p.injected = 0 && not (route_packet pid) then begin
+        ignore (Queue.pop inj_queue.(u_node));
+        incr dropped_packets;
+        false
       end
-      else false
+      else begin
+        let vl = p.hop_vl.(0) in
+        let own = owner.(unit_id c vl) in
+        if (own = -1 || own = pid) && credits.(unit_id c vl) > 0 then begin
+          if p.inject_cycle < 0 then begin
+            p.inject_cycle <- !cycle;
+            p.generation <- !activations;
+            incr in_flight
+          end;
+          p.injected <- p.injected + 1;
+          let tail = p.injected = p.flits in
+          transmit c vl pid tail;
+          if tail then ignore (Queue.pop inj_queue.(u_node));
+          true
+        end
+        else false
+      end
     end
   in
   let try_forward c u_node =
@@ -299,6 +452,8 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
       Obs.incr c_delivered;
       incr delivered_packets;
       delivered_bytes := !delivered_bytes + p.bytes;
+      decr in_flight;
+      note_delivery p;
       let lat = float_of_int (!cycle - p.inject_cycle) in
       latency_sum := !latency_sum +. lat;
       if lat > !latency_max then latency_max := lat;
@@ -354,11 +509,12 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
   in
   let deadlocked = ref false in
   while
-    !delivered_packets < total_packets
+    !delivered_packets + !dropped_packets < total_packets
     && (not !deadlocked)
     && !cycle < config.max_cycles
   do
     moved := false;
+    process_swaps ();
     for c = 0 to nc - 1 do
       arbitrate_channel c
     done;
@@ -469,15 +625,24 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
           latency = hist;
           deadlock_wait_cycle = wait_cycle }
   in
-  (outcome, telemetry)
+  (outcome, telemetry, Array.to_list records)
 
 let run ?(config = default_config) table ~traffic =
-  fst (run_impl ~config ~telem:None table ~traffic)
+  let o, _, _ = run_impl ~config ~telem:None ~swaps:[] table ~traffic in
+  o
 
 let run_with_telemetry ?(config = default_config)
     ?(telemetry = default_telemetry) table ~traffic =
   if telemetry.sample_every < 1 then
     invalid_arg "Sim.run_with_telemetry: sample_every must be >= 1";
-  match run_impl ~config ~telem:(Some telemetry) table ~traffic with
-  | o, Some t -> (o, t)
-  | _, None -> assert false
+  match run_impl ~config ~telem:(Some telemetry) ~swaps:[] table ~traffic with
+  | o, Some t, _ -> (o, t)
+  | _, None, _ -> assert false
+
+let run_with_swaps ?(config = default_config)
+    ?telemetry:(telem : telemetry_config option) table ~swaps ~traffic =
+  (match telem with
+   | Some t when t.sample_every < 1 ->
+     invalid_arg "Sim.run_with_swaps: sample_every must be >= 1"
+   | _ -> ());
+  run_impl ~config ~telem ~swaps table ~traffic

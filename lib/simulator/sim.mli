@@ -103,3 +103,56 @@ val run_with_telemetry :
   outcome * telemetry
 (** {!run} with the telemetry sink attached.
     @raise Invalid_argument additionally if [sample_every < 1]. *)
+
+(** {1 Live reconfiguration}
+
+    A run may swap routing tables mid-flight: packets injected after a
+    swap follow the new table, packets already in flight finish on the
+    route they were injected with. That coexistence of old and new
+    dependencies is deadlock-free exactly when the union of both
+    tables' channel dependency graphs is acyclic per VL —
+    [Nue_reconfig.Transition.verify] certifies it; a [staged] swap is
+    the conservative fallback for transitions it could not certify:
+    injection pauses, the fabric drains, and only then does the new
+    table take effect. *)
+
+type swap = {
+  at_cycle : int;           (** cycle at which the swap is requested *)
+  table : Nue_routing.Table.t;
+      (** must be on the same network (node and channel ids) as the
+          initial table; may use a different number of VLs *)
+  staged : bool;
+      (** drain all in-flight packets before activating (safe for any
+          transition, at the cost of a full quiesce) *)
+}
+
+type swap_record = {
+  swap_at : int;            (** requested cycle *)
+  activated_at : int;       (** when the table took effect ([= swap_at]
+                                unless staged; -1 if the run ended while
+                                still draining) *)
+  in_flight_packets : int;  (** packets committed to the old table at
+                                request time *)
+  in_flight_flits : int;    (** their buffered + on-wire flits *)
+  drained_at : int;         (** cycle by which every packet in flight at
+                                request time was delivered — the end of
+                                the disruption window; -1 if the run
+                                ended first *)
+}
+
+val run_with_swaps :
+  ?config:config ->
+  ?telemetry:telemetry_config ->
+  Nue_routing.Table.t ->
+  swaps:swap list ->
+  traffic:Traffic.message list ->
+  outcome * telemetry option * swap_record list
+(** Simulate with mid-run table swaps (applied in [at_cycle] order, one
+    at a time — a swap whose cycle arrives while a staged predecessor is
+    still draining waits its turn). Packets whose pair the active table
+    no longer routes are dropped (counted against [delivered_packets]
+    vs [total_packets]) instead of blocking the injection queue. The
+    watchdog still aborts on deadlock, so an unverified unsafe
+    transition is caught rather than hanging.
+    @raise Invalid_argument if a swap table is on a different network
+    or [sample_every < 1]. *)

@@ -17,4 +17,5 @@ let () =
          Test_provenance.suite;
          Test_span.suite;
          Test_heap_model.suite;
+         Test_reconfig.suite;
          Test_invariants.suite ])
