@@ -4,9 +4,14 @@
    local discovery: F = vertices reachable from v with order <= ord.(u),
    B = vertices reaching u with order >= ord.(v). If u is in F the edge
    closes a cycle. Otherwise the vertices of B ∪ F are reassigned to the
-   sorted pool of their old order slots, B first. *)
+   sorted pool of their old order slots, B first.
+
+   Adjacency lives in the shared CSR pool and the bounded discoveries
+   are iterative with stamp-array seen sets, so a try_add_edge probe on
+   a million-channel LASH layer allocates only the two discovery lists. *)
 
 module Obs = Nue_obs.Obs
+module Adjacency = Nue_structures.Adjacency
 
 let c_add = Obs.counter "pk.add_calls"
 let c_fast = Obs.counter "pk.add_fast" (* duplicate or already ordered *)
@@ -16,41 +21,63 @@ let c_moved = Obs.counter "pk.reorder_moved" (* vertices reassigned *)
 
 type t = {
   n : int;
-  succ : (int, int) Hashtbl.t array;
-  pred : (int, int) Hashtbl.t array;
+  succ : Adjacency.t;
+  pred : Adjacency.t;
   ord : int array; (* vertex -> topological index *)
-  mutable distinct_edges : int;
+  stamp : int array; (* scratch: visited iff stamp.(v) = clock *)
+  mutable clock : int;
+  stack : int array; (* scratch for the bounded discoveries *)
 }
 
 let create n =
   { n;
-    succ = Array.init n (fun _ -> Hashtbl.create 4);
-    pred = Array.init n (fun _ -> Hashtbl.create 4);
+    succ = Adjacency.create n;
+    pred = Adjacency.create n;
     ord = Array.init n (fun i -> i);
-    distinct_edges = 0 }
+    stamp = Array.make n 0;
+    clock = 0;
+    stack = Array.make (max n 1) 0 }
 
-let mem_edge t u v = Hashtbl.mem t.succ.(u) v
+let mem_edge t u v = Adjacency.mem t.succ u v
 
-let multiplicity t u v =
-  match Hashtbl.find_opt t.succ.(u) v with
-  | None -> 0
-  | Some m -> m
+let multiplicity t u v = Adjacency.multiplicity t.succ u v
 
-let num_edges t = t.distinct_edges
+let num_edges t = Adjacency.distinct_edges t.succ
 
 let order t v = t.ord.(v)
 
 let bump t u v =
-  (match Hashtbl.find_opt t.succ.(u) v with
-   | None ->
-     Hashtbl.replace t.succ.(u) v 1;
-     Hashtbl.replace t.pred.(v) u 1;
-     t.distinct_edges <- t.distinct_edges + 1
-   | Some m ->
-     Hashtbl.replace t.succ.(u) v (m + 1);
-     Hashtbl.replace t.pred.(v) u (m + 1))
+  ignore (Adjacency.add t.succ u v : bool);
+  ignore (Adjacency.add t.pred v u : bool)
 
 exception Cycle
+
+(* Bounded DFS over [adj] from [start], visiting only vertices whose
+   order passes [bound]. Raises [Cycle] as soon as [target] qualifies.
+   Returns the visited list (collection order is irrelevant: callers
+   re-sort by [ord], a permutation). *)
+let bounded_reach t adj ~start ~target ~bound =
+  t.clock <- t.clock + 1;
+  let c = t.clock in
+  let visited = ref [ start ] in
+  t.stamp.(start) <- c;
+  t.stack.(0) <- start;
+  let sp = ref 1 in
+  while !sp > 0 do
+    decr sp;
+    let x = t.stack.(!sp) in
+    Adjacency.iter adj x (fun y ->
+        if bound t.ord.(y) then begin
+          if y = target then raise Cycle;
+          if t.stamp.(y) <> c then begin
+            t.stamp.(y) <- c;
+            visited := y :: !visited;
+            t.stack.(!sp) <- y;
+            incr sp
+          end
+        end)
+  done;
+  !visited
 
 let try_add_edge t u v =
   Obs.incr c_add;
@@ -70,40 +97,25 @@ let try_add_edge t u v =
   end
   else begin
     let lower = t.ord.(v) and upper = t.ord.(u) in
-    (* Forward discovery from v, bounded by [upper]. *)
-    let f_seen = Hashtbl.create 16 in
-    let rec fwd x =
-      if x = u then raise Cycle;
-      if not (Hashtbl.mem f_seen x) then begin
-        Hashtbl.replace f_seen x ();
-        Hashtbl.iter
-          (fun y _ -> if t.ord.(y) <= upper then fwd y)
-          t.succ.(x)
-      end
-    in
-    match fwd v with
+    (* Forward discovery from v, bounded by [upper]; finding u there
+       means v already reaches u and the edge would close a cycle. *)
+    match bounded_reach t t.succ ~start:v ~target:u ~bound:(fun o -> o <= upper)
+    with
     | exception Cycle ->
       Obs.incr c_cycle;
       false
-    | () ->
-      (* Backward discovery from u, bounded by [lower]. *)
-      let b_seen = Hashtbl.create 16 in
-      let rec bwd x =
-        if not (Hashtbl.mem b_seen x) then begin
-          Hashtbl.replace b_seen x ();
-          Hashtbl.iter
-            (fun y _ -> if t.ord.(y) >= lower then bwd y)
-            t.pred.(x)
-        end
+    | f_list ->
+      (* Backward discovery from u, bounded by [lower]. [target] is -1:
+         nothing reaching u from above can be v, or fwd would have
+         cycled. *)
+      let b_list =
+        bounded_reach t t.pred ~start:u ~target:(-1)
+          ~bound:(fun o -> o >= lower)
       in
-      bwd u;
       (* Reassign: sort both sets by current order; their vertices get
          the union of their old slots, B's before F's. *)
-      let to_sorted h =
-        let l = Hashtbl.fold (fun x () acc -> x :: acc) h [] in
-        List.sort (fun a b -> compare t.ord.(a) t.ord.(b)) l
-      in
-      let fs = to_sorted f_seen and bs = to_sorted b_seen in
+      let by_ord a b = compare t.ord.(a) t.ord.(b) in
+      let fs = List.sort by_ord f_list and bs = List.sort by_ord b_list in
       let vertices = bs @ fs in
       let slots =
         List.sort compare (List.map (fun x -> t.ord.(x)) vertices)
@@ -126,33 +138,26 @@ let to_dot ?(isolated = false) t =
   Buffer.add_string buf "  node [shape=ellipse, fontsize=9];\n";
   for v = 0 to t.n - 1 do
     if isolated
-       || Hashtbl.length t.succ.(v) > 0
-       || Hashtbl.length t.pred.(v) > 0
+       || Adjacency.degree t.succ v > 0
+       || Adjacency.degree t.pred v > 0
     then
       Buffer.add_string buf
         (Printf.sprintf "  v%d [label=\"%d (ord %d)\"];\n" v v t.ord.(v))
   done;
   for u = 0 to t.n - 1 do
-    let out = Hashtbl.fold (fun v m acc -> (v, m) :: acc) t.succ.(u) [] in
-    List.iter
-      (fun (v, m) ->
-         let label =
-           if m > 1 then Printf.sprintf " [label=\"x%d\", fontsize=8]" m
-           else ""
-         in
-         Buffer.add_string buf (Printf.sprintf "  v%d -> v%d%s;\n" u v label))
-      (List.sort compare out)
+    (* CSR segments are already sorted ascending. *)
+    Adjacency.iter_mult t.succ u (fun v m ->
+        let label =
+          if m > 1 then Printf.sprintf " [label=\"x%d\", fontsize=8]" m
+          else ""
+        in
+        Buffer.add_string buf (Printf.sprintf "  v%d -> v%d%s;\n" u v label))
   done;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 let remove_edge t u v =
-  match Hashtbl.find_opt t.succ.(u) v with
-  | None | Some 0 -> invalid_arg "Acyclic_digraph.remove_edge: absent edge"
-  | Some 1 ->
-    Hashtbl.remove t.succ.(u) v;
-    Hashtbl.remove t.pred.(v) u;
-    t.distinct_edges <- t.distinct_edges - 1
-  | Some m ->
-    Hashtbl.replace t.succ.(u) v (m - 1);
-    Hashtbl.replace t.pred.(v) u (m - 1)
+  match Adjacency.remove t.succ u v with
+  | (_ : bool) -> ignore (Adjacency.remove t.pred v u : bool)
+  | exception Invalid_argument _ ->
+    invalid_arg "Acyclic_digraph.remove_edge: absent edge"

@@ -18,12 +18,6 @@ let c_reject = Obs.counter "cdg.edges_rejected"
 let c_merge = Obs.counter "cdg.subgraph_merges"
 let c_relabel = Obs.counter "cdg.subgraph_relabels"
 
-type members = {
-  mutable chans : int list;
-  mutable edges : (int * int) list; (* (from, slot) *)
-  mutable size : int;
-}
-
 type t = {
   net : Network.t;
   succ : int array array;
@@ -32,7 +26,13 @@ type t = {
   pred_slot : int array array;
   chan_state : int array; (* omega per channel *)
   mutable next_id : int;
-  groups : (int, members) Hashtbl.t;
+  (* Union-find over subgraph ids: two dense arrays instead of a
+     hashtable of member lists. At most one fresh id per channel, so
+     ids fit in [1 .. nc] and the tables are sized once. Stored omegas
+     (chan_state / succ_state) may be stale after merges; [find]
+     canonicalizes on read. *)
+  group_parent : int array;
+  group_size : int array; (* member count (channels + edges) per root *)
   (* DFS scratch: visit stamps avoid clearing a visited array per search. *)
   stamp : int array;
   mutable clock : int;
@@ -83,7 +83,8 @@ let create net =
   { net; succ; succ_state; pred; pred_slot;
     chan_state = Array.make nc 0;
     next_id = 1;
-    groups = Hashtbl.create 64;
+    group_parent = Array.init (nc + 1) (fun i -> i);
+    group_size = Array.make (nc + 1) 0;
     stamp = Array.make nc 0;
     clock = 0;
     searches = 0;
@@ -110,54 +111,61 @@ let find_slot t ~from ~to_ =
   in
   go 0
 
-let channel_omega t c = t.chan_state.(c)
+(* Canonical subgraph id, with path halving. The surviving root under
+   union-by-size (first argument wins ties) is exactly the id the old
+   eager smaller-into-larger relabeling kept, so observable omegas —
+   and hence provenance output — are unchanged by the representation. *)
+let find t x =
+  let x = ref x in
+  while t.group_parent.(!x) <> !x do
+    let p = t.group_parent.(!x) in
+    t.group_parent.(!x) <- t.group_parent.(p);
+    x := t.group_parent.(!x)
+  done;
+  !x
 
-let edge_omega t ~from ~slot = t.succ_state.(from).(slot)
+let channel_omega t c =
+  let s = t.chan_state.(c) in
+  if s <= 0 then s else find t s
 
-let group t id =
-  match Hashtbl.find_opt t.groups id with
-  | Some g -> g
-  | None ->
-    let g = { chans = []; edges = []; size = 0 } in
-    Hashtbl.replace t.groups id g;
-    g
+let edge_omega t ~from ~slot =
+  let s = t.succ_state.(from).(slot) in
+  if s <= 0 then s else find t s
 
 let use_channel t c =
-  if t.chan_state.(c) > 0 then t.chan_state.(c)
+  if t.chan_state.(c) > 0 then find t t.chan_state.(c)
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
     t.chan_state.(c) <- id;
-    let g = group t id in
-    g.chans <- c :: g.chans;
-    g.size <- 1;
+    t.group_size.(id) <- 1;
     id
   end
 
-(* Relabel the smaller group into the larger; returns the surviving id. *)
+(* Union by size, smaller under larger; returns the surviving root. *)
 let merge t a b =
-  if a = b then a
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
   else begin
-    let ga = group t a and gb = group t b in
-    let keep, keep_g, drop, drop_g =
-      if ga.size >= gb.size then a, ga, b, gb else b, gb, a, ga
+    let keep, drop =
+      if t.group_size.(ra) >= t.group_size.(rb) then ra, rb else rb, ra
     in
     Obs.incr c_merge;
-    Obs.add c_relabel drop_g.size;
-    List.iter (fun c -> t.chan_state.(c) <- keep) drop_g.chans;
-    List.iter (fun (f, s) -> t.succ_state.(f).(s) <- keep) drop_g.edges;
-    keep_g.chans <- List.rev_append drop_g.chans keep_g.chans;
-    keep_g.edges <- List.rev_append drop_g.edges keep_g.edges;
-    keep_g.size <- keep_g.size + drop_g.size;
-    Hashtbl.remove t.groups drop;
+    (* Counter semantics shift with the representation: this still
+       tallies the members absorbed from the smaller group, but no
+       per-member relabeling work happens anymore — reads canonicalize
+       lazily through [find]. *)
+    Obs.add c_relabel t.group_size.(drop);
+    t.group_parent.(drop) <- keep;
+    t.group_size.(keep) <- t.group_size.(keep) + t.group_size.(drop);
     keep
   end
 
+(* [id] must be canonical (callers pass a fresh [use_channel]/[merge]
+   result or a [channel_omega] read). *)
 let mark_edge_used t ~from ~slot id =
   t.succ_state.(from).(slot) <- id;
-  let g = group t id in
-  g.edges <- (from, slot) :: g.edges;
-  g.size <- g.size + 1
+  t.group_size.(id) <- t.group_size.(id) + 1
 
 (* Depth-first search for [target] starting at [start], following used
    edges only (they all carry the same subgraph id, so no id filtering is
@@ -226,7 +234,8 @@ let usable t ~from ~slot ~commit =
   end
   else begin
     let q = t.succ.(from).(slot) in
-    let om_p = t.chan_state.(from) and om_q = t.chan_state.(q) in
+    (* Canonical omegas: stored ids may be stale after merges. *)
+    let om_p = channel_omega t from and om_q = channel_omega t q in
     if om_p = 0 || om_q = 0 || om_p <> om_q then begin
       (* (c) connecting distinct (or fresh) acyclic subgraphs cannot
          close a cycle. *)
@@ -376,7 +385,7 @@ let to_dot ?(highlight_path = []) ?(escape = [||]) t =
   Buffer.add_string buf "  rankdir=LR;\n  node [fontsize=9];\n";
   for c = 0 to nc - 1 do
     let u = Network.src t.net c and v = Network.dst t.net c in
-    let om = t.chan_state.(c) in
+    let om = channel_omega t c in
     let fill, fontcolor =
       if on_path.(c) then ("orange", "black")
       else if om >= 1 then ("lightblue", "black")
@@ -402,7 +411,9 @@ let to_dot ?(highlight_path = []) ?(escape = [||]) t =
           match st.(i) with
           | -1 -> "color=red, style=dashed"
           | 0 -> "color=gray70, style=dotted"
-          | id -> Printf.sprintf "color=blue, label=\"%d\", fontsize=8" id
+          | _ ->
+            Printf.sprintf "color=blue, label=\"%d\", fontsize=8"
+              (edge_omega t ~from:c ~slot:i)
       in
       Buffer.add_string buf
         (Printf.sprintf "  c%d -> c%d [%s];\n" c q attrs)

@@ -13,10 +13,13 @@
       acyclic used subgraph the element belongs to.
 
     [try_use_edge] implements Algorithm 3: the four conditions (a)-(d),
-    with a depth-first search only in case (d) and subgraph merges by
-    smaller-into-larger relabeling. All mutations keep the used
-    subgraph acyclic — this is the invariant Nue's deadlock-freedom
-    proof (Lemma 2) rests on. *)
+    with a depth-first search only in case (d). Subgraph ids live in a
+    union-find forest (union by size, so the surviving id matches the
+    historical smaller-into-larger relabeling); stored omegas may be
+    stale aliases, and every read canonicalizes through [channel_omega]/
+    [edge_omega]. All mutations keep the used subgraph acyclic — this
+    is the invariant Nue's deadlock-freedom proof (Lemma 2) rests
+    on. *)
 
 type t
 

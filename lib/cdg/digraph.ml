@@ -1,78 +1,94 @@
+(* Directed multigraph on the shared CSR adjacency pool. Traversals are
+   iterative with explicit stacks — induced CDGs at 10k+ switches have
+   millions of channels, far past the OS stack. The reachability scratch
+   (visit stamps + stack) is cached on the graph so repeated
+   [would_close_cycle] probes (static-CDG's hot path) allocate nothing. *)
+
+module Adjacency = Nue_structures.Adjacency
+
 type t = {
-  n : int;
-  succ : (int, int) Hashtbl.t array; (* vertex -> (successor -> multiplicity) *)
-  mutable distinct_edges : int;
+  adj : Adjacency.t;
+  stamp : int array; (* scratch: vertex visited iff stamp.(v) = clock *)
+  mutable clock : int;
+  stack : int array; (* scratch DFS stack; each vertex pushed at most once *)
 }
 
 let create n =
-  { n; succ = Array.init n (fun _ -> Hashtbl.create 4); distinct_edges = 0 }
+  { adj = Adjacency.create n;
+    stamp = Array.make n 0;
+    clock = 0;
+    stack = Array.make (max n 1) 0 }
 
-let num_vertices t = t.n
+let num_vertices t = Adjacency.num_vertices t.adj
 
-let add_edge t u v =
-  let h = t.succ.(u) in
-  match Hashtbl.find_opt h v with
-  | None ->
-    Hashtbl.replace h v 1;
-    t.distinct_edges <- t.distinct_edges + 1
-  | Some m -> Hashtbl.replace h v (m + 1)
+let add_edge t u v = ignore (Adjacency.add t.adj u v)
 
 let remove_edge t u v =
-  let h = t.succ.(u) in
-  match Hashtbl.find_opt h v with
-  | None | Some 0 -> invalid_arg "Digraph.remove_edge: absent edge"
-  | Some 1 ->
-    Hashtbl.remove h v;
-    t.distinct_edges <- t.distinct_edges - 1
-  | Some m -> Hashtbl.replace h v (m - 1)
+  match Adjacency.remove t.adj u v with
+  | (_ : bool) -> ()
+  | exception Invalid_argument _ ->
+    invalid_arg "Digraph.remove_edge: absent edge"
 
-let multiplicity t u v =
-  match Hashtbl.find_opt t.succ.(u) v with
-  | None -> 0
-  | Some m -> m
+let multiplicity t u v = Adjacency.multiplicity t.adj u v
 
-let mem_edge t u v = multiplicity t u v > 0
+let mem_edge t u v = Adjacency.mem t.adj u v
 
-let num_edges t = t.distinct_edges
+let num_edges t = Adjacency.distinct_edges t.adj
 
-let iter_succ t u f = Hashtbl.iter (fun v _ -> f v) t.succ.(u)
+let iter_succ t u f = Adjacency.iter t.adj u f
 
-(* Iterative 3-color DFS. [on_stack] tracks the grey path so a back edge
-   identifies a cycle, which we then reconstruct from the parent map. *)
+(* Iterative 3-color DFS in ascending successor order: a back edge to a
+   grey vertex identifies a cycle, reconstructed from the parent map.
+   Successors are scanned in ascending id order (the CSR segments are
+   sorted), so the reported cycle is deterministic. *)
 let find_cycle t =
+  let n = num_vertices t in
   let white = 0 and grey = 1 and black = 2 in
-  let color = Array.make t.n white in
-  let parent = Array.make t.n (-1) in
+  let color = Array.make n white in
+  let parent = Array.make n (-1) in
+  let stack_v = Array.make (max n 1) 0 in
+  let stack_i = Array.make (max n 1) 0 in
   let found = ref None in
-  let rec visit u =
-    color.(u) <- grey;
-    (try
-       Hashtbl.iter
-         (fun v _ ->
-            if !found <> None then raise Exit;
-            if color.(v) = grey then begin
-              (* Cycle: v -> ... -> u -> v; walk parents from u to v. *)
-              let rec collect x acc =
-                if x = v then x :: acc else collect parent.(x) (x :: acc)
-              in
-              found := Some (collect u []);
-              raise Exit
-            end
-            else if color.(v) = white then begin
-              parent.(v) <- u;
-              visit v
-            end)
-         t.succ.(u)
-     with Exit -> ());
-    if !found = None then color.(u) <- black
-  in
-  (try
-     for u = 0 to t.n - 1 do
-       if color.(u) = white then visit u;
-       if !found <> None then raise Exit
-     done
-   with Exit -> ());
-  ignore white;
+  let root = ref 0 in
+  while !found = None && !root < n do
+    if color.(!root) = white then begin
+      let sp = ref 0 in
+      stack_v.(0) <- !root;
+      stack_i.(0) <- 0;
+      color.(!root) <- grey;
+      while !found = None && !sp >= 0 do
+        let u = stack_v.(!sp) in
+        let i = stack_i.(!sp) in
+        if i < Adjacency.degree t.adj u then begin
+          stack_i.(!sp) <- i + 1;
+          let v = Adjacency.succ_ix t.adj u i in
+          if color.(v) = grey then begin
+            (* Cycle: v -> ... -> u -> v; walk parents from u to v. *)
+            let acc = ref [] in
+            let x = ref u in
+            while !x <> v do
+              acc := !x :: !acc;
+              x := parent.(!x)
+            done;
+            found := Some (v :: !acc)
+          end
+          else if color.(v) = white then begin
+            parent.(v) <- u;
+            color.(v) <- grey;
+            incr sp;
+            stack_v.(!sp) <- v;
+            stack_i.(!sp) <- 0
+          end
+        end
+        else begin
+          color.(u) <- black;
+          decr sp
+        end
+      done
+    end;
+    incr root
+  done;
+  ignore black;
   !found
 
 let is_acyclic t = find_cycle t = None
@@ -80,18 +96,25 @@ let is_acyclic t = find_cycle t = None
 let would_close_cycle t u v =
   if u = v then true
   else begin
-    (* Iterative DFS from v looking for u. *)
-    let seen = Hashtbl.create 64 in
-    let stack = Stack.create () in
-    Stack.push v stack;
+    (* Iterative DFS from v looking for u; stamp on push so each vertex
+       enters the fixed-size stack at most once. *)
+    t.clock <- t.clock + 1;
+    let c = t.clock in
+    let sp = ref 1 in
+    t.stack.(0) <- v;
+    t.stamp.(v) <- c;
     let found = ref false in
-    while (not !found) && not (Stack.is_empty stack) do
-      let x = Stack.pop stack in
+    while (not !found) && !sp > 0 do
+      decr sp;
+      let x = t.stack.(!sp) in
       if x = u then found := true
-      else if not (Hashtbl.mem seen x) then begin
-        Hashtbl.replace seen x ();
-        Hashtbl.iter (fun y _ -> Stack.push y stack) t.succ.(x)
-      end
+      else
+        Adjacency.iter t.adj x (fun y ->
+            if t.stamp.(y) <> c then begin
+              t.stamp.(y) <- c;
+              t.stack.(!sp) <- y;
+              incr sp
+            end)
     done;
     !found
   end

@@ -1,5 +1,6 @@
 module Network = Nue_netgraph.Network
 module Prng = Nue_structures.Prng
+module Bitset = Nue_structures.Bitset
 
 type strategy =
   | Kway
@@ -25,6 +26,30 @@ type wgraph = {
   coarse_of : int array;               (* fine vertex -> coarse vertex *)
 }
 
+(* Aggregate (i*n+j, w) pairs (i < j) into adjacency lists by sort-merge
+   instead of a hashtable: duplicate keys sum their weights, and the
+   resulting lists are in ascending neighbor order — deterministic, so
+   the downstream matching (and ultimately the Nue partition) no longer
+   depends on hash iteration order. *)
+let build_adj n pairs =
+  let arr = Array.of_list pairs in
+  Array.sort (fun (a, _) (b, _) -> compare (a : int) b) arr;
+  let adj = Array.make n [] in
+  let idx = ref (Array.length arr - 1) in
+  (* Descending key runs, consed to the front: ascending final lists. *)
+  while !idx >= 0 do
+    let k, _ = arr.(!idx) in
+    let w = ref 0 in
+    while !idx >= 0 && fst arr.(!idx) = k do
+      w := !w + snd arr.(!idx);
+      decr idx
+    done;
+    let i = k / n and j = k mod n in
+    adj.(i) <- (j, !w) :: adj.(i);
+    adj.(j) <- (i, !w) :: adj.(j)
+  done;
+  adj
+
 let switch_graph net ~dest_weight =
   let sw = Network.switches net in
   let index = Array.make (Network.num_nodes net) (-1) in
@@ -32,7 +57,7 @@ let switch_graph net ~dest_weight =
   let n = Array.length sw in
   let vwgt = Array.make n 0 in
   Array.iteri (fun i s -> vwgt.(i) <- dest_weight s) sw;
-  let edge_w = Hashtbl.create (4 * n) in
+  let pairs = ref [] in
   Array.iteri
     (fun i s ->
        let adj = Network.out_channels net s in
@@ -41,22 +66,11 @@ let switch_graph net ~dest_weight =
             let v = Network.dst net c in
             if Network.is_switch net v then begin
               let j = index.(v) in
-              if j > i then begin
-                let k = (i * n) + j in
-                Hashtbl.replace edge_w k
-                  (1 + Option.value ~default:0 (Hashtbl.find_opt edge_w k))
-              end
+              if j > i then pairs := ((i * n) + j, 1) :: !pairs
             end)
          adj)
     sw;
-  let adj = Array.make n [] in
-  Hashtbl.iter
-    (fun k w ->
-       let i = k / n and j = k mod n in
-       adj.(i) <- (j, w) :: adj.(i);
-       adj.(j) <- (i, w) :: adj.(j))
-    edge_w;
-  ({ vwgt; adj; coarse_of = [||] }, index)
+  ({ vwgt; adj = build_adj n !pairs; coarse_of = [||] }, index)
 
 let num_vertices g = Array.length g.vwgt
 
@@ -72,10 +86,15 @@ let coarsen prng g =
        if mate.(v) < 0 then begin
          let best = ref (-1) and best_w = ref min_int in
          List.iter
-           (fun (u, w) -> if mate.(u) < 0 && u <> v && w > !best_w then begin
-              best := u;
-              best_w := w
-            end)
+           (fun (u, w) ->
+              (* Explicit lowest-id tie-break: the winner must not depend
+                 on adjacency-list construction order. *)
+              if mate.(u) < 0 && u <> v
+                 && (w > !best_w || (w = !best_w && u < !best))
+              then begin
+                best := u;
+                best_w := w
+              end)
            g.adj.(v);
          if !best >= 0 then begin
            mate.(v) <- !best;
@@ -98,27 +117,16 @@ let coarsen prng g =
   for v = 0 to n - 1 do
     vwgt.(coarse_of.(v)) <- vwgt.(coarse_of.(v)) + g.vwgt.(v)
   done;
-  let edge_w = Hashtbl.create (4 * cn) in
+  let pairs = ref [] in
   Array.iteri
     (fun v neigh ->
        List.iter
          (fun (u, w) ->
             let cv = coarse_of.(v) and cu = coarse_of.(u) in
-            if cv < cu then begin
-              let k = (cv * cn) + cu in
-              Hashtbl.replace edge_w k
-                (w + Option.value ~default:0 (Hashtbl.find_opt edge_w k))
-            end)
+            if cv < cu then pairs := ((cv * cn) + cu, w) :: !pairs)
          neigh)
     g.adj;
-  let adj = Array.make cn [] in
-  Hashtbl.iter
-    (fun k w ->
-       let i = k / cn and j = k mod cn in
-       adj.(i) <- (j, w) :: adj.(i);
-       adj.(j) <- (i, w) :: adj.(j))
-    edge_w;
-  { vwgt; adj; coarse_of }
+  { vwgt; adj = build_adj cn !pairs; coarse_of }
 
 (* Greedy region growing on the coarsest graph: grow each part from a
    random seed by absorbing the frontier vertex with the strongest
@@ -142,35 +150,44 @@ let initial_partition prng g k =
     in
     go ()
   in
+  (* Frontier as a bitset over the coarsest graph plus a flat gain
+     array; ascending iteration makes the lowest-id tie-break free. *)
+  let gain = Array.make n 0 in
+  let frontier = Bitset.create n in
   for p = 0 to k - 1 do
     let seed = find_seed () in
     if seed >= 0 then begin
       let weight = ref 0 in
-      let gain = Hashtbl.create 64 in
-      Hashtbl.replace gain seed max_int;
+      Bitset.clear frontier;
+      Bitset.add frontier seed;
+      gain.(seed) <- max_int;
       let continue = ref true in
       while !continue && !weight < quota do
         (* Strongest-connected unassigned frontier vertex. *)
         let best = ref (-1) and best_g = ref min_int in
-        Hashtbl.iter
-          (fun v gv ->
-             if part.(v) < 0 && (gv > !best_g || (gv = !best_g && v < !best))
-             then begin
+        Bitset.iter
+          (fun v ->
+             let gv = gain.(v) in
+             if part.(v) < 0 && gv > !best_g then begin
                best := v;
                best_g := gv
              end)
-          gain;
+          frontier;
         if !best < 0 then continue := false
         else begin
           let v = !best in
-          Hashtbl.remove gain v;
+          Bitset.remove frontier v;
           part.(v) <- p;
           weight := !weight + g.vwgt.(v);
           List.iter
             (fun (u, w) ->
-               if part.(u) < 0 then
-                 Hashtbl.replace gain u
-                   (w + Option.value ~default:0 (Hashtbl.find_opt gain u)))
+               if part.(u) < 0 then begin
+                 if not (Bitset.mem frontier u) then begin
+                   Bitset.add frontier u;
+                   gain.(u) <- 0
+                 end;
+                 gain.(u) <- gain.(u) + w
+               end)
             g.adj.(v)
         end
       done
@@ -277,30 +294,28 @@ let partition ?(strategy = Kway) ?prng net ~dests ~k =
        Prng.shuffle prng shuffled;
        Array.iteri (fun i d -> push (i mod k) d) shuffled
      | Clustered ->
-       (* Destinations grouped by switch; groups dealt to the currently
+       (* Destinations grouped by switch (dense buckets, scanned in
+          ascending switch order); groups dealt to the currently
           lightest part. *)
-       let by_switch = Hashtbl.create 64 in
+       let by_switch = Array.make (Network.num_nodes net) [] in
        Array.iter
          (fun d ->
             let s =
               if Network.is_switch net d then d
               else Network.terminal_attachment net d
             in
-            Hashtbl.replace by_switch s
-              (d :: Option.value ~default:[] (Hashtbl.find_opt by_switch s)))
+            by_switch.(s) <- d :: by_switch.(s))
          dests;
-       let groups =
-         Hashtbl.fold (fun s ds acc -> (s, ds) :: acc) by_switch []
-         |> List.sort (fun (a, _) (b, _) -> compare a b)
-       in
-       List.iter
-         (fun (_, ds) ->
-            let lightest = ref 0 in
-            for p = 1 to k - 1 do
-              if sizes.(p) < sizes.(!lightest) then lightest := p
-            done;
-            List.iter (push !lightest) ds)
-         groups
+       Array.iter
+         (fun ds ->
+            if ds <> [] then begin
+              let lightest = ref 0 in
+              for p = 1 to k - 1 do
+                if sizes.(p) < sizes.(!lightest) then lightest := p
+              done;
+              List.iter (push !lightest) ds
+            end)
+         by_switch
      | Kway ->
        let dest_count = Array.make (Network.num_nodes net) 0 in
        Array.iter

@@ -47,9 +47,9 @@ module Builder = struct
 
   let build b =
     let n = b.nnodes in
-    let kinds = Array.make (max n 1) Switch in
+    (* [nkinds] is reversed; lay it out directly at final size. *)
+    let kinds = Array.make n Switch in
     List.iteri (fun i k -> kinds.(n - 1 - i) <- k) b.nkinds;
-    let kinds = Array.sub kinds 0 n in
     let m = b.nlinks in
     let csrc = Array.make (2 * m) 0 in
     let cdst = Array.make (2 * m) 0 in

@@ -227,10 +227,18 @@ let of_ibnetdiscover s =
        Hashtbl.replace ids guid id)
     (List.rev !order);
   (* Each duplex link is listed from both sides; keep the side whose
-     (guid, port) is smaller to add it exactly once. *)
+     (guid, port) is smaller to add it exactly once. A (guid, port)
+     pair identifies one physical link end: seeing it twice means the
+     dump is malformed (parallel links are fine — they use distinct
+     ports — duplicate port ids are not), and silently keeping either
+     occurrence would add the link a side-dependent number of times. *)
+  let seen_ports = Hashtbl.create 64 in
   let ca_ports = Hashtbl.create 64 in
   List.iter
     (fun (guid, port, peer, pport) ->
+       if Hashtbl.mem seen_ports (guid, port) then
+         fail (Printf.sprintf "duplicate port [%d] on node %s" port guid);
+       Hashtbl.replace seen_ports (guid, port) ();
        (match Hashtbl.find_opt nodes guid with
         | Some Network.Terminal ->
           Hashtbl.replace ca_ports guid

@@ -1,6 +1,7 @@
 module Network = Nue_netgraph.Network
 module Graph_algo = Nue_netgraph.Graph_algo
 module Acyclic_digraph = Nue_cdg.Acyclic_digraph
+module Bitset = Nue_structures.Bitset
 
 (* Minimal-path next-channel tree toward one destination (lowest channel
    id among equal-distance choices, LASH does not balance). *)
@@ -42,16 +43,21 @@ let switch_path_edges net ~nexts ~dest_switch ~src_switch =
   in
   walk src_switch None 0 []
 
-let assign_layers net ~trees ~dest_switches ~src_switches ~max_layers =
+(* [trees] is indexed by destination-switch position; [src_pos] maps a
+   source switch id to its position in [src_switches]. The resulting
+   layer table is flat: entry [dpos * |src_switches| + spos], 0 where no
+   assignment happened (sw = dw pairs). *)
+let assign_layers net ~trees ~dest_switches ~src_switches ~src_pos ~max_layers =
   let nc = Network.num_channels net in
+  let nsrc = Array.length src_switches in
   let layers = ref [| Acyclic_digraph.create nc |] in
   let layer_count = ref 1 in
-  let layer_of = Hashtbl.create 4096 in
+  let layer_of = Array.make (Array.length dest_switches * nsrc) 0 in
   let ok = ref true in
-  Array.iter
-    (fun dw ->
+  Array.iteri
+    (fun dpos dw ->
        if !ok then begin
-         let nexts = Hashtbl.find trees dw in
+         let nexts = trees.(dpos) in
          Array.iter
            (fun sw ->
               if !ok && sw <> dw then begin
@@ -89,7 +95,7 @@ let assign_layers net ~trees ~dest_switches ~src_switches ~max_layers =
                   end
                 in
                 match try_layer 0 with
-                | Some l -> Hashtbl.replace layer_of (sw, dw) l
+                | Some l -> layer_of.((dpos * nsrc) + src_pos.(sw)) <- l
                 | None -> ok := false
               end)
            src_switches
@@ -102,31 +108,32 @@ let run ?dests ?sources ~max_layers net =
   let sources =
     match sources with Some s -> s | None -> Network.terminals net
   in
-  let dest_switches =
-    let seen = Hashtbl.create 64 in
-    Array.iter (fun d -> Hashtbl.replace seen (switch_of net d) ()) dests;
-    let l = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
-    Array.of_list (List.sort compare l)
+  let nn = Network.num_nodes net in
+  (* Dedup through a bitset: iteration is ascending by construction, so
+     the switch lists are stable whatever order the inputs arrive in. *)
+  let switch_set nodes =
+    let set = Bitset.create nn in
+    Array.iter (fun x -> Bitset.add set (switch_of net x)) nodes;
+    Array.of_list (Bitset.to_list set)
   in
-  let src_switches =
-    let seen = Hashtbl.create 64 in
-    Array.iter (fun s -> Hashtbl.replace seen (switch_of net s) ()) sources;
-    let l = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
-    Array.of_list (List.sort compare l)
-  in
-  let trees = Hashtbl.create 64 in
-  Array.iter
-    (fun dw -> Hashtbl.replace trees dw (min_hop_tree net dw))
-    dest_switches;
-  match assign_layers net ~trees ~dest_switches ~src_switches ~max_layers with
+  let dest_switches = switch_set dests in
+  let src_switches = switch_set sources in
+  let dest_pos = Array.make nn (-1) in
+  Array.iteri (fun i dw -> dest_pos.(dw) <- i) dest_switches;
+  let src_pos = Array.make nn (-1) in
+  Array.iteri (fun i sw -> src_pos.(sw) <- i) src_switches;
+  let nsrc = Array.length src_switches in
+  let trees = Array.map (fun dw -> min_hop_tree net dw) dest_switches in
+  match
+    assign_layers net ~trees ~dest_switches ~src_switches ~src_pos ~max_layers
+  with
   | None -> None
   | Some (layer_of, layer_count) ->
-    let nn = Network.num_nodes net in
     let next_channel =
       Array.map
         (fun dest ->
            let dw = switch_of net dest in
-           let tree = Hashtbl.find trees dw in
+           let tree = trees.(dest_pos.(dw)) in
            let nexts = Array.make nn (-1) in
            for node = 0 to nn - 1 do
              if node <> dest then
@@ -149,12 +156,14 @@ let run ?dests ?sources ~max_layers net =
       Array.map
         (fun dest ->
            let dw = switch_of net dest in
+           let dpos = dest_pos.(dw) in
            Array.init nn (fun src ->
                let sw = switch_of net src in
                if sw = dw then 0
                else
-                 Option.value ~default:0
-                   (Hashtbl.find_opt layer_of (sw, dw))))
+                 match src_pos.(sw) with
+                 | -1 -> 0 (* not a routed source switch *)
+                 | spos -> layer_of.((dpos * nsrc) + spos)))
         dests
     in
     Some

@@ -1,5 +1,6 @@
 module Network = Nue_netgraph.Network
 module Digraph = Nue_cdg.Digraph
+module Bitset = Nue_structures.Bitset
 
 type result = {
   vl : int array array;
@@ -33,18 +34,27 @@ let switch_of net n =
    and time by the terminals-per-switch factor. *)
 let assign net ~dests ~next_channel ~sources ?max_layers () =
   let nc = Network.num_channels net in
+  let nn = Network.num_nodes net in
   let key (a, b) = (a * nc) + b in
+  (* Dedup through a bitset: ascending iteration keeps the switch list
+     stable regardless of input order. *)
   let src_switches =
-    let seen = Hashtbl.create 64 in
-    Array.iter (fun s -> Hashtbl.replace seen (switch_of net s) ()) sources;
-    let l = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
-    Array.of_list (List.sort compare l)
+    let seen = Bitset.create nn in
+    Array.iter (fun s -> Bitset.add seen (switch_of net s)) sources;
+    Array.of_list (Bitset.to_list seen)
   in
-  (* Layer per (dest position, source switch); missing = layer 0. *)
-  let group_layer = Hashtbl.create 4096 in
+  let src_pos = Array.make nn (-1) in
+  Array.iteri (fun i sw -> src_pos.(sw) <- i) src_switches;
+  let nsrc = Array.length src_switches in
+  (* Layer per (dest position, source-switch position), flat; switches
+     outside the routed source set stay on layer 0. *)
+  let group_layer = Array.make (Array.length dests * nsrc) 0 in
   let layer_of pos sw =
-    Option.value ~default:0 (Hashtbl.find_opt group_layer (pos, sw))
+    match src_pos.(sw) with
+    | -1 -> 0
+    | spos -> group_layer.((pos * nsrc) + spos)
   in
+  let set_layer pos sw l = group_layer.((pos * nsrc) + src_pos.(sw)) <- l in
   let all_groups =
     let acc = ref [] in
     Array.iteri
@@ -115,7 +125,7 @@ let assign net ~dests ~next_channel ~sources ?max_layers () =
                 List.iter
                   (fun (pos, sw) ->
                      if layer_of pos sw = layer then begin
-                       Hashtbl.replace group_layer (pos, sw) (layer + 1);
+                       set_layer pos sw (layer + 1);
                        moved := (pos, sw) :: !moved;
                        List.iter
                          (fun (x, y) -> Digraph.remove_edge g x y)
@@ -133,7 +143,6 @@ let assign net ~dests ~next_channel ~sources ?max_layers () =
   | None -> None
   | Some { layers_used; _ } ->
     (* Materialize per-node VLs from the group layers. *)
-    let nn = Network.num_nodes net in
     let vl =
       Array.mapi
         (fun pos _dest ->

@@ -1,5 +1,6 @@
 module Network = Nue_netgraph.Network
 module Digraph = Nue_cdg.Digraph
+module Bitset = Nue_structures.Bitset
 
 type report = {
   connected : bool;
@@ -83,8 +84,13 @@ let induced_vcdg ?sources (t : Table.t) =
 let check ?sources (t : Table.t) =
   let sources = match sources with Some s -> s | None -> default_sources t in
   let nc = Network.num_channels t.net in
+  let nn = Network.num_nodes t.net in
   let unreachable = ref 0 in
   let cycle_free = ref true in
+  (* Stamped seen-set shared by every per-pair loop recheck: one array
+     for the whole call instead of a hashtable per unreachable pair. *)
+  let seen = Array.make nn 0 in
+  let clock = ref 0 in
   Array.iter
     (fun dest ->
        Array.iter
@@ -99,17 +105,21 @@ let check ?sources (t : Table.t) =
                    [Table.path] returns None for both; recheck. *)
                 let pos = Table.dest_position t dest in
                 let nexts = t.next_channel.(pos) in
-                let seen = Hashtbl.create 16 in
-                let rec go node =
-                  if node = dest then ()
-                  else if Hashtbl.mem seen node then cycle_free := false
-                  else begin
-                    Hashtbl.replace seen node ();
-                    let c = nexts.(node) in
-                    if c >= 0 then go (Network.dst t.net c)
+                incr clock;
+                let node = ref src and stop = ref false in
+                while not !stop do
+                  if !node = dest then stop := true
+                  else if seen.(!node) = !clock then begin
+                    cycle_free := false;
+                    stop := true
                   end
-                in
-                go src)
+                  else begin
+                    seen.(!node) <- !clock;
+                    let c = nexts.(!node) in
+                    if c >= 0 then node := Network.dst t.net c
+                    else stop := true
+                  end
+                done)
          sources)
     t.dests;
   let g = induced_vcdg ~sources t in
@@ -205,14 +215,13 @@ let cycle_to_dot (t : Table.t) cycle =
 
 let vls_used ?sources (t : Table.t) =
   let sources = match sources with Some s -> s | None -> default_sources t in
-  let seen = Hashtbl.create 8 in
+  let seen = Bitset.create (max 1 t.num_vls) in
   (match t.vl with
-   | Table.All_zero -> Hashtbl.replace seen 0 ()
-   | Table.Per_dest a -> Array.iter (fun v -> Hashtbl.replace seen v ()) a
+   | Table.All_zero -> Bitset.add seen 0
+   | Table.Per_dest a -> Array.iter (fun v -> Bitset.add seen v) a
    | Table.Per_pair a ->
      Array.iter
-       (fun per_src ->
-          Array.iter (fun v -> Hashtbl.replace seen v ()) per_src)
+       (fun per_src -> Array.iter (fun v -> Bitset.add seen v) per_src)
        a
    | Table.Per_hop _ ->
      Array.iter
@@ -223,7 +232,7 @@ let vls_used ?sources (t : Table.t) =
                  match Table.path_with_vls t ~src ~dest with
                  | None -> ()
                  | Some hops ->
-                   List.iter (fun (_, v) -> Hashtbl.replace seen v ()) hops)
+                   List.iter (fun (_, v) -> Bitset.add seen v) hops)
             sources)
        t.dests);
-  Hashtbl.length seen
+  Bitset.cardinal seen

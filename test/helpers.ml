@@ -115,3 +115,61 @@ let check_table_valid name table =
   Alcotest.(check bool) (name ^ ": cycle-free") true r.Nue_routing.Verify.cycle_free;
   Alcotest.(check bool)
     (name ^ ": deadlock-free") true r.Nue_routing.Verify.deadlock_free
+
+(* {1 Table fingerprints}
+
+   Canonical MD5 of a routing table, used by the representation-
+   equivalence suite (test_compact.ml) to pin seeded tables across
+   graph-core refactors. Must stay in sync with tools/fingerprint.ml,
+   which regenerates the recorded digests. *)
+let table_fingerprint (t : Nue_routing.Table.t) =
+  let module Table = Nue_routing.Table in
+  let buf = Buffer.create 4096 in
+  let add_int i =
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_char buf ','
+  in
+  Buffer.add_string buf t.Table.algorithm;
+  Buffer.add_char buf ';';
+  add_int t.Table.num_vls;
+  Array.iter add_int t.Table.dests;
+  Buffer.add_char buf ';';
+  Array.iter
+    (fun row ->
+       Array.iter add_int row;
+       Buffer.add_char buf '|')
+    t.Table.next_channel;
+  Buffer.add_char buf ';';
+  (match t.Table.vl with
+   | Table.All_zero -> Buffer.add_char buf 'Z'
+   | Table.Per_dest a ->
+     Buffer.add_char buf 'D';
+     Array.iter add_int a
+   | Table.Per_pair a ->
+     Buffer.add_char buf 'P';
+     Array.iter
+       (fun row ->
+          Array.iter add_int row;
+          Buffer.add_char buf '|')
+       a
+   | Table.Per_hop _ ->
+     (* Closures cannot be serialized directly; walk every pair's path
+        and record the per-hop (channel, vl) sequence instead. *)
+     Buffer.add_char buf 'H';
+     let nn = Network.num_nodes t.Table.net in
+     Array.iter
+       (fun dest ->
+          for src = 0 to nn - 1 do
+            if src <> dest then
+              match Table.path_with_vls t ~src ~dest with
+              | None -> ()
+              | Some hops ->
+                List.iter
+                  (fun (c, v) ->
+                     add_int c;
+                     add_int v)
+                  hops;
+                Buffer.add_char buf '|'
+          done)
+       t.Table.dests);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

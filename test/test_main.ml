@@ -18,4 +18,5 @@ let () =
          Test_span.suite;
          Test_heap_model.suite;
          Test_reconfig.suite;
-         Test_invariants.suite ])
+         Test_invariants.suite;
+         Test_compact.suite ])
