@@ -80,6 +80,72 @@ let cases ~full =
           build = (fun () -> dfly ~a:32 ~h:16 ~g:320);
           engines = [ "minhop"; "sssp"; "nue" ] } ]
 
+(* {1 Parallel speedup}
+
+   One dedicated case for the domain pool: nue at vcs=1 (a single
+   virtual layer, so every sampled destination batches into the same
+   speculative rounds) on the CI fat-tree, routed at jobs=1 and
+   jobs=[par_jobs]. Fat-tree shortest paths are up*/down*-acyclic, so
+   speculative CDG admissions essentially never conflict and the
+   speedup column measures the pool itself. The tables are
+   byte-identical by construction (test/test_parallel.ml); here only
+   the wall clock may differ. *)
+
+let par_jobs = 4
+let par_dest_sample = 32
+
+let run_parallel () =
+  Common.section "SCALE/PARALLEL: domain-pool speedup on the CI fat-tree";
+  Printf.printf
+    "cores: %d recommended domains; speedup is jobs=%d vs jobs=1\n\n"
+    (Domain.recommended_domain_count ()) par_jobs;
+  Common.print_header
+    [ (30, "Topology"); (10, "Engine"); (6, "Jobs"); (6, "Dests");
+      (10, "Route(s)"); (9, "Speedup") ];
+  let net = Topology.kary_ntree ~k:40 ~n:3 ~terminals_per_leaf:1 () in
+  let name = "kary-ntree(40,3) 4800sw" in
+  let dests = sample (Prng.create 9) par_dest_sample (Network.terminals net) in
+  let route jobs =
+    let before = Nue_parallel.Pool.default_jobs () in
+    Nue_parallel.Pool.set_default_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Nue_parallel.Pool.set_default_jobs before)
+      (fun () ->
+         Common.time (fun () ->
+             Engine.route "nue" (Engine.spec ~vcs:1 ~dests net)))
+  in
+  let rows = ref [] in
+  let row engine jobs seconds speedup ok =
+    Printf.printf "%s%s%s%s%s%s\n%!"
+      (Common.cell 30 name)
+      (Common.cell 10 engine)
+      (Common.cell 6 (string_of_int jobs))
+      (Common.cell 6 (string_of_int (Array.length dests)))
+      (Common.cell 10 (Printf.sprintf "%.2f" seconds))
+      (Common.cell 9
+         (match speedup with Some s -> Printf.sprintf "%.2fx" s | None -> "-"));
+    rows :=
+      Json.Obj
+        ([ ("topology", Json.Str name);
+           ("engine", Json.Str engine);
+           ("jobs", Json.Int jobs);
+           ("dests_sampled", Json.Int (Array.length dests));
+           ("route_seconds", Json.Float seconds);
+           ("ok", Json.Int (if ok then 1 else 0)) ]
+         @ match speedup with
+           | Some s -> [ ("speedup", Json.Float s) ]
+           | None -> [])
+      :: !rows
+  in
+  let r1, s1 = route 1 in
+  row "nue" 1 s1 None (Result.is_ok r1);
+  let rn, sn = route par_jobs in
+  row "nue" par_jobs sn
+    (Some (if sn > 0.0 then s1 /. sn else 0.0))
+    (Result.is_ok rn);
+  Report.add "scale_parallel" (Json.List (List.rev !rows));
+  print_newline ()
+
 let run ~full () =
   Common.section "SCALE: compact-core routing at thousands of switches";
   Printf.printf
@@ -128,4 +194,5 @@ let run ~full () =
          case.engines)
     (cases ~full);
   Report.add "scale" (Json.List (List.rev !rows));
-  print_newline ()
+  print_newline ();
+  run_parallel ()

@@ -218,6 +218,17 @@ let format_t =
                  machine-readable object with the verify report, counters \
                  and metrics).")
 
+let jobs_t =
+  Arg.(value & opt int 0
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Number of domains for parallel route computation. 0 (the \
+                 default) leaves the pool default in place: the NUE_JOBS \
+                 environment variable if set, else sequential. Routed \
+                 tables, fingerprints and merged counters are \
+                 byte-identical for every value.")
+
+let set_jobs jobs = if jobs > 0 then Nue_parallel.Pool.set_default_jobs jobs
+
 let trace_t =
   Arg.(value & flag
        & info [ "trace" ]
@@ -237,7 +248,8 @@ let build_t =
 (* {1 Subcommands} *)
 
 let route_cmd =
-  let run built algorithm vcs trace format =
+  let run built algorithm vcs jobs trace format =
+    set_jobs jobs;
     let o, snap =
       maybe_trace trace (fun () -> Experiment.run ~vcs ~engine:algorithm built)
     in
@@ -252,7 +264,8 @@ let route_cmd =
       exit (exit_code_of o)
   in
   Cmd.v (Cmd.info "route" ~doc:"Route a topology and verify the result")
-    Term.(const run $ build_t $ algorithm_t $ vcs_t $ trace_t $ format_t)
+    Term.(const run $ build_t $ algorithm_t $ vcs_t $ jobs_t $ trace_t
+          $ format_t)
 
 let print_telemetry (t : Sim.telemetry) =
   let module H = Nue_metrics.Histogram in
@@ -786,8 +799,9 @@ let churn_cmd =
           $ record_t $ format_t)
 
 let compare_cmd =
-  let run built vcs trace =
+  let run built vcs jobs trace =
     Format.printf "%a@.@." Network.pp built.Experiment.net;
+    set_jobs jobs;
     let outcomes, snap =
       maybe_trace trace (fun () -> Experiment.run_all ~vcs built)
     in
@@ -825,7 +839,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run every registered routing engine and compare quality")
-    Term.(const run $ build_t $ vcs_t $ trace_t)
+    Term.(const run $ build_t $ vcs_t $ jobs_t $ trace_t)
 
 let () =
   let info =

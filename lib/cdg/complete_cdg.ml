@@ -18,6 +18,17 @@ let c_reject = Obs.counter "cdg.edges_rejected"
 let c_merge = Obs.counter "cdg.subgraph_merges"
 let c_relabel = Obs.counter "cdg.subgraph_relabels"
 
+(* Speculative-execution journal: the state-changing operations of one
+   destination's search, recorded against a scratch clone and replayed
+   onto the authoritative CDG at commit time (see [replay] below for
+   the soundness argument). Ops are packed three ints at a time:
+   tag (0 fresh channel use / 1 edge admission / 2 edge block), then
+   the channel or (from, slot) pair. *)
+type journal = {
+  mutable ops : int array;
+  mutable jlen : int; (* op count; 3 * jlen ints are live in [ops] *)
+}
+
 type t = {
   net : Network.t;
   succ : int array array;
@@ -38,6 +49,7 @@ type t = {
   mutable clock : int;
   mutable searches : int;
   nedges : int;
+  mutable journal : journal option;
 }
 
 let create net =
@@ -88,7 +100,56 @@ let create net =
     stamp = Array.make nc 0;
     clock = 0;
     searches = 0;
-    nedges = !nedges }
+    nedges = !nedges;
+    journal = None }
+
+(* Scratch clones share the immutable structure (succ/pred/slot arrays,
+   the network) and copy only the mutable routing state — cheap enough
+   to take one per destination speculation. *)
+let clone t =
+  { t with
+    succ_state = Array.map Array.copy t.succ_state;
+    chan_state = Array.copy t.chan_state;
+    group_parent = Array.copy t.group_parent;
+    group_size = Array.copy t.group_size;
+    stamp = Array.copy t.stamp;
+    journal = None }
+
+let copy_state_into ~src ~dst =
+  let nc = Array.length src.succ in
+  if Array.length dst.succ <> nc then
+    invalid_arg "Complete_cdg.copy_state_into: different networks";
+  for c = 0 to nc - 1 do
+    let row = src.succ_state.(c) in
+    Array.blit row 0 dst.succ_state.(c) 0 (Array.length row)
+  done;
+  Array.blit src.chan_state 0 dst.chan_state 0 nc;
+  Array.blit src.group_parent 0 dst.group_parent 0 (nc + 1);
+  Array.blit src.group_size 0 dst.group_size 0 (nc + 1);
+  Array.blit src.stamp 0 dst.stamp 0 nc;
+  dst.next_id <- src.next_id;
+  dst.clock <- src.clock;
+  dst.searches <- src.searches
+
+let journal_create () = { ops = Array.make 96 0; jlen = 0 }
+
+let journal_clear j = j.jlen <- 0
+
+let journal_length j = j.jlen
+
+let set_journal t j = t.journal <- j
+
+let jpush j tag a b =
+  let base = 3 * j.jlen in
+  if base + 3 > Array.length j.ops then begin
+    let nops = Array.make (2 * Array.length j.ops) 0 in
+    Array.blit j.ops 0 nops 0 base;
+    j.ops <- nops
+  end;
+  j.ops.(base) <- tag;
+  j.ops.(base + 1) <- a;
+  j.ops.(base + 2) <- b;
+  j.jlen <- j.jlen + 1
 
 let network t = t.net
 
@@ -139,6 +200,7 @@ let use_channel t c =
     t.next_id <- id + 1;
     t.chan_state.(c) <- id;
     t.group_size.(id) <- 1;
+    (match t.journal with Some j -> jpush j 0 c 0 | None -> ());
     id
   end
 
@@ -242,10 +304,18 @@ let usable t ~from ~slot ~commit =
       Obs.incr c_distinct;
       if commit then begin
         Obs.incr c_accept;
+        (* One admission op covers the whole (c) commit: the inner
+           [use_channel] calls replay implicitly through the real
+           graph's own [try_use_edge], so suspend journaling around
+           them. *)
+        let j = t.journal in
+        t.journal <- None;
         let id_p = use_channel t from in
         let id_q = use_channel t q in
         let id = merge t id_p id_q in
-        mark_edge_used t ~from ~slot id
+        mark_edge_used t ~from ~slot id;
+        t.journal <- j;
+        (match j with Some j -> jpush j 1 from slot | None -> ())
       end;
       Distinct_merge
     end
@@ -274,14 +344,16 @@ let usable t ~from ~slot ~commit =
         (* (d) same subgraph but no used path back: still acyclic. *)
         if commit then begin
           Obs.incr c_accept;
-          mark_edge_used t ~from ~slot om_p
+          mark_edge_used t ~from ~slot om_p;
+          (match t.journal with Some j -> jpush j 1 from slot | None -> ())
         end;
         Search_acyclic
       end
       else begin
         if commit then begin
           Obs.incr c_reject;
-          t.succ_state.(from).(slot) <- -1
+          t.succ_state.(from).(slot) <- -1;
+          (match t.journal with Some j -> jpush j 2 from slot | None -> ())
         end;
         Search_cycle
       end
@@ -294,6 +366,44 @@ let try_use_edge_v t ~from ~slot = usable t ~from ~slot ~commit:true
 
 let would_use_edge t ~from ~slot =
   verdict_ok (usable t ~from ~slot ~commit:false)
+
+(* Replay a speculation's journal onto the authoritative graph. The
+   speculation ran against scratch = snapshot + its own ops; the real
+   graph at replay time is snapshot + other destinations' committed
+   ops + this journal's already-replayed prefix — a superset of what
+   each op saw, where used state only ever grows.
+
+   - Channel uses and edge admissions go through the regular
+     [use_channel]/[try_use_edge]: an edge the speculation admitted may
+     close a cycle against another destination's commits, in which case
+     replay reports failure and the caller re-routes that destination
+     sequentially. (A failed replay leaves its admitted prefix used,
+     which is conservative but sound — the same stance as a failed
+     [try_switch] in the search itself.)
+   - Blocks are sound to replay directly: the speculative cycle's used
+     edges were each either in the snapshot (still used — used state
+     never reverts) or admitted earlier in this same journal (already
+     replayed), so the cycle exists in the real graph too and the edge
+     must stay out. By the same argument the blocked edge cannot be
+     used in the real graph; finding it used means the prefix did not
+     commit cleanly, so replay reports failure defensively. *)
+let replay t j =
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < j.jlen do
+    let base = 3 * !i in
+    let tag = j.ops.(base) in
+    let a = j.ops.(base + 1) and b = j.ops.(base + 2) in
+    (match tag with
+     | 0 -> ignore (use_channel t a)
+     | 1 -> if not (try_use_edge t ~from:a ~slot:b) then ok := false
+     | _ ->
+       let st = t.succ_state.(a) in
+       if st.(b) >= 1 then ok := false
+       else if st.(b) = 0 then st.(b) <- -1);
+    Stdlib.incr i
+  done;
+  !ok
 
 let used_subgraph_acyclic t =
   let nc = num_channels t in

@@ -26,6 +26,18 @@ type t
 val create : Nue_netgraph.Network.t -> t
 (** Build the complete CDG of a network; everything starts unused. *)
 
+val clone : t -> t
+(** A scratch copy for speculative routing: shares the immutable
+    structure (successor/predecessor arrays, the network) and copies
+    only the mutable routing state. Mutating the clone never touches
+    the original. The clone's journal starts unset. *)
+
+val copy_state_into : src:t -> dst:t -> unit
+(** Overwrite [dst]'s mutable routing state with [src]'s — resetting a
+    scratch clone to the authoritative graph between speculations
+    without re-allocating. Both must stem from the same network.
+    @raise Invalid_argument if the channel counts differ. *)
+
 val network : t -> Nue_netgraph.Network.t
 
 val num_channels : t -> int
@@ -97,6 +109,43 @@ val try_use_edge_v : t -> from:int -> slot:int -> verdict
 val would_use_edge : t -> from:int -> slot:int -> bool
 (** Like [try_use_edge] but without committing: [true] iff the edge is
     usable right now. Does not block the edge on failure. *)
+
+(** {1 Speculative journaling}
+
+    Parallel Nue routes each destination of a batch against a scratch
+    {!clone} while recording the state-changing operations — fresh
+    channel uses, edge admissions, edge blocks — into a journal, then
+    {!replay}s the journals onto the authoritative graph one
+    destination at a time in batch order. Admissions re-run Algorithm 3
+    on the real graph, so a speculation invalidated by an earlier
+    commit is detected (replay returns [false]) and the caller
+    re-routes that destination sequentially; blocks are always sound to
+    replay because a used subgraph only grows, so a cycle found against
+    the scratch persists in the real graph. The commit order — not the
+    domain schedule — therefore decides the final CDG state, which is
+    what keeps seeded runs byte-identical at any job count. *)
+
+type journal
+
+val journal_create : unit -> journal
+
+val journal_clear : journal -> unit
+(** Forget the recorded ops (capacity is kept). *)
+
+val journal_length : journal -> int
+(** Number of recorded ops. *)
+
+val set_journal : t -> journal option -> unit
+(** Attach (or detach) the journal that [use_channel]/[try_use_edge]
+    record their state changes into. Recording costs one branch per
+    state-changing call when unset. *)
+
+val replay : t -> journal -> bool
+(** Apply a journal recorded against a scratch clone to this graph.
+    Returns [false] if an admission no longer holds (or a blocked edge
+    is found used); the prefix already applied stays applied —
+    conservative but sound, see [try_use_edge]. Do not attach a journal
+    to the graph being replayed into. *)
 
 (** {1 Inspection (tests, metrics)} *)
 

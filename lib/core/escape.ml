@@ -7,24 +7,44 @@ type t = {
   tree : Graph_algo.tree;
   mutable initial_deps : int;
   memo : (int, int array) Hashtbl.t;
+  (* [next_toward] is called from pool workers when a speculative
+     search falls back to the escape path, so the memo is shared
+     mutable state across domains. The lock covers lookup and insert;
+     a duplicated computation (two domains missing on the same dest
+     before either inserts) would only waste work, but the hashtable
+     itself must never be resized concurrently. *)
+  memo_lock : Mutex.t;
 }
 
 let next_toward t ~dest =
+  Mutex.lock t.memo_lock;
   match Hashtbl.find_opt t.memo dest with
-  | Some a -> a
-  | None ->
-    let a =
-      Graph_algo.tree_next_channel (Complete_cdg.network t.cdg) t.tree ~dest
-    in
-    Hashtbl.replace t.memo dest a;
+  | Some a ->
+    Mutex.unlock t.memo_lock;
     a
+  | None ->
+    (* Compute inside the lock: the tree walk is cheap (O(nodes)) and
+       this keeps each dest's array computed exactly once. *)
+    (match
+       Graph_algo.tree_next_channel (Complete_cdg.network t.cdg) t.tree ~dest
+     with
+     | a ->
+       Hashtbl.replace t.memo dest a;
+       Mutex.unlock t.memo_lock;
+       a
+     | exception e ->
+       Mutex.unlock t.memo_lock;
+       raise e)
 
 exception Refused
 
 let prepare_gen ~strict cdg ~root ~dests =
   let net = Complete_cdg.network cdg in
   let tree = Graph_algo.spanning_tree net ~root in
-  let t = { cdg; tree; initial_deps = 0; memo = Hashtbl.create 64 } in
+  let t =
+    { cdg; tree; initial_deps = 0; memo = Hashtbl.create 64;
+      memo_lock = Mutex.create () }
+  in
   match
     Array.iter
       (fun dest ->

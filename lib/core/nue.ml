@@ -5,9 +5,12 @@ module Balance = Nue_routing.Balance
 module Prng = Nue_structures.Prng
 module Obs = Nue_obs.Obs
 module Span = Nue_obs.Span
+module Pool = Nue_parallel.Pool
 
 let c_layers = Obs.counter "nue.layers_routed"
 let c_initial_deps = Obs.counter "nue.initial_deps"
+let c_speculated = Obs.counter "nue.speculated_dests"
+let c_misspec = Obs.counter "nue.misspeculations"
 
 type options = {
   strategy : Partition.strategy;
@@ -33,8 +36,152 @@ type run_stats = {
   impasse_dests : int;
   initial_deps : int;
   cycle_searches : int;
+  misspeculations : int;
   roots : int array;
 }
+
+(* {1 Batched speculative rounds}
+
+   Destinations within a layer are coupled through the shared CDG (an
+   edge admitted for one destination constrains the next) and through
+   the balancing weights, so they cannot simply run concurrently. They
+   are instead processed in rounds of doubling size: every destination
+   of a round is routed {e speculatively} against a private scratch
+   clone of the CDG and a frozen copy of the weights, recording its
+   state changes into a journal; the round then commits one destination
+   at a time, in round order, by replaying its journal onto the
+   authoritative CDG. A replay that no longer holds (an earlier commit
+   blocked an edge this speculation admitted) discards the speculation
+   and re-routes that destination sequentially on the live state — the
+   fallback that makes the result exact, not approximate.
+
+   Because round boundaries, scratch contents and commit order are all
+   pure functions of the (seeded) destination order — never of the
+   domain schedule — the tables, counters and provenance trails are
+   byte-identical for any job count, including jobs = 1, which runs the
+   very same code inline. Round sizes double from 1 (the first
+   destination seeds the orientation alone, cheaply) up to a cap; sizes
+   are independent of the job count by construction. *)
+
+let max_round = 64
+
+(* One destination's speculation, shipped from the worker back to the
+   committing domain. *)
+type speculation = {
+  sp_nexts : int array;
+  sp_journal : Complete_cdg.journal;
+  sp_stats : Nue_dijkstra.stats;
+  sp_searches : int; (* DFS count of this speculation alone *)
+  sp_trail : Provenance.pending option;
+}
+
+let route_subset ~options ~cdg ~escape ~weights ~scale ~net ~sources ~layer
+    ~stats ~spec_searches ~misspecs ~commit subset =
+  let route_live dest =
+    (* The sequential path: route on the authoritative CDG and live
+       weights, exactly as the pre-batching code did. *)
+    if Provenance.enabled () then Provenance.begin_dest ~dest;
+    let nexts =
+      (* One span per destination-routing round (one constrained-
+         Dijkstra tree, Algorithm 1). The fallback/backtrack
+         annotations land inside as instant events from
+         Nue_dijkstra. *)
+      Span.with_ "nue.dest"
+        ~args:[ ("dest", Span.Int dest); ("layer", Span.Int layer) ]
+        (fun () ->
+           Nue_dijkstra.route_destination cdg ~escape ~weights ~dest
+             ~use_backtracking:options.use_backtracking
+             ~use_shortcuts:options.use_shortcuts ~stats ())
+    in
+    if Provenance.enabled () then Provenance.end_dest ();
+    commit ~dest ~nexts;
+    Balance.update_weights ~scale net ~weights ~nexts ~dest ~sources
+  in
+  let n = Array.length subset in
+  let i = ref 0 in
+  let round = ref 1 in
+  while !i < n do
+    let r = min !round (n - !i) in
+    if r = 1 then route_live subset.(!i)
+    else begin
+      let base = !i in
+      let frozen = Array.copy weights in
+      let results : speculation option array = Array.make r None in
+      Pool.run_with ~n:r
+        ~init:(fun () -> ref None)
+        (fun scratch_cell k ->
+           let scratch =
+             match !scratch_cell with
+             | Some s ->
+               Complete_cdg.copy_state_into ~src:cdg ~dst:s;
+               s
+             | None ->
+               let s = Complete_cdg.clone cdg in
+               scratch_cell := Some s;
+               s
+           in
+           let dest = subset.(base + k) in
+           Obs.incr c_speculated;
+           let journal = Complete_cdg.journal_create () in
+           Complete_cdg.set_journal scratch (Some journal);
+           let sp_stats = Nue_dijkstra.fresh_stats () in
+           if Provenance.enabled () then Provenance.begin_dest ~dest;
+           let searches0 = Complete_cdg.cycle_searches scratch in
+           let nexts =
+             Span.with_ "nue.dest"
+               ~args:
+                 [ ("dest", Span.Int dest); ("layer", Span.Int layer);
+                   ("speculative", Span.Bool true) ]
+               (fun () ->
+                  Nue_dijkstra.route_destination scratch ~escape
+                    ~weights:frozen ~dest
+                    ~use_backtracking:options.use_backtracking
+                    ~use_shortcuts:options.use_shortcuts ~stats:sp_stats ())
+           in
+           Complete_cdg.set_journal scratch None;
+           results.(k) <-
+             Some
+               { sp_nexts = nexts;
+                 sp_journal = journal;
+                 sp_stats;
+                 sp_searches = Complete_cdg.cycle_searches scratch - searches0;
+                 sp_trail = Provenance.take_dest () });
+      for k = 0 to r - 1 do
+        let dest = subset.(base + k) in
+        match results.(k) with
+        | None -> route_live dest (* skipped task: route it for real *)
+        | Some sp ->
+          if Complete_cdg.replay cdg sp.sp_journal then begin
+            stats.Nue_dijkstra.fallbacks <-
+              stats.Nue_dijkstra.fallbacks + sp.sp_stats.Nue_dijkstra.fallbacks;
+            stats.Nue_dijkstra.backtracks <-
+              stats.Nue_dijkstra.backtracks
+              + sp.sp_stats.Nue_dijkstra.backtracks;
+            stats.Nue_dijkstra.shortcuts <-
+              stats.Nue_dijkstra.shortcuts + sp.sp_stats.Nue_dijkstra.shortcuts;
+            stats.Nue_dijkstra.impasse_dests <-
+              stats.Nue_dijkstra.impasse_dests
+              + sp.sp_stats.Nue_dijkstra.impasse_dests;
+            spec_searches := !spec_searches + sp.sp_searches;
+            (match sp.sp_trail with
+             | Some trail -> Provenance.commit_dest trail
+             | None -> ());
+            commit ~dest ~nexts:sp.sp_nexts;
+            Balance.update_weights ~scale net ~weights ~nexts:sp.sp_nexts
+              ~dest ~sources
+          end
+          else begin
+            (* An earlier commit of this round invalidated the
+               speculation; its trail and stats are dropped with it. *)
+            Obs.incr c_misspec;
+            incr misspecs;
+            route_live dest
+          end
+      done
+    end;
+    i := !i + r;
+    round := min (2 * !round) max_round
+  done
 
 let route_with_stats ?(options = default_options) ?dests ?sources ~vcs net =
   if vcs < 1 then invalid_arg "Nue.route: vcs must be >= 1";
@@ -65,6 +212,7 @@ let route_with_stats ?(options = default_options) ?dests ?sources ~vcs net =
   let stats = Nue_dijkstra.fresh_stats () in
   let initial_deps = ref 0 in
   let cycle_searches = ref 0 in
+  let misspecs = ref 0 in
   let roots = ref [] in
   let global_weights = Array.make nc 1.0 in
   let scale = Balance.tie_break_scale ~sources ~dests in
@@ -100,34 +248,22 @@ let route_with_stats ?(options = default_options) ?dests ?sources ~vcs net =
                 if options.global_weights then global_weights
                 else Array.make nc 1.0
               in
-              Array.iter
-                (fun dest ->
-                   if Provenance.enabled () then
-                     Provenance.begin_dest ~dest;
-                   let nexts =
-                     (* One span per destination-routing round (one
-                        constrained-Dijkstra tree, Algorithm 1). The
-                        fallback/backtrack annotations land inside as
-                        instant events from Nue_dijkstra. *)
-                     Span.with_ "nue.dest"
-                       ~args:
-                         [ ("dest", Span.Int dest);
-                           ("layer", Span.Int layer) ]
-                       (fun () ->
-                          Nue_dijkstra.route_destination cdg ~escape ~weights
-                            ~dest ~use_backtracking:options.use_backtracking
-                            ~use_shortcuts:options.use_shortcuts ~stats ())
-                   in
-                   let pos = dest_pos.(dest) in
-                   Array.blit nexts 0 next_channel.(pos) 0 nn;
-                   layer_of_dest.(pos) <- layer;
-                   Balance.update_weights ~scale net ~weights ~nexts ~dest
-                     ~sources;
-                   if options.global_weights && not (weights == global_weights)
-                   then assert false)
+              let spec_searches = ref 0 in
+              let commit ~dest ~nexts =
+                let pos = dest_pos.(dest) in
+                Array.blit nexts 0 next_channel.(pos) 0 nn;
+                layer_of_dest.(pos) <- layer
+              in
+              route_subset ~options ~cdg ~escape ~weights ~scale ~net
+                ~sources ~layer ~stats ~spec_searches ~misspecs ~commit
                 subset;
+              (* The layer's DFS total: searches on the authoritative
+                 graph (escape seeding, replays, re-routes) plus each
+                 committed speculation's own searches — both independent
+                 of the domain schedule. *)
               cycle_searches :=
-                !cycle_searches + Complete_cdg.cycle_searches cdg)
+                !cycle_searches + Complete_cdg.cycle_searches cdg
+                + !spec_searches)
        end)
     subsets;
   let run =
@@ -137,6 +273,7 @@ let route_with_stats ?(options = default_options) ?dests ?sources ~vcs net =
       impasse_dests = stats.Nue_dijkstra.impasse_dests;
       initial_deps = !initial_deps;
       cycle_searches = !cycle_searches;
+      misspeculations = !misspecs;
       roots = Array.of_list (List.rev !roots) }
   in
   let table =
@@ -150,7 +287,8 @@ let route_with_stats ?(options = default_options) ?dests ?sources ~vcs net =
           ("shortcuts", float_of_int run.shortcuts);
           ("impasse_dests", float_of_int run.impasse_dests);
           ("initial_deps", float_of_int run.initial_deps);
-          ("cycle_searches", float_of_int run.cycle_searches) ]
+          ("cycle_searches", float_of_int run.cycle_searches);
+          ("misspeculations", float_of_int run.misspeculations) ]
       ()
   in
   (table, run)

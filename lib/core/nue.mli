@@ -10,7 +10,17 @@
 
     Nue never fails: it always produces valid deadlock-free forwarding
     tables, the property Fig. 11 highlights against DFSSSP/LASH (VC
-    explosion) and Torus-2QoS (no analytical solution under faults). *)
+    explosion) and Torus-2QoS (no analytical solution under faults).
+
+    Within a layer, destinations are processed in batched speculative
+    rounds sharded over [Nue_parallel.Pool] (see DESIGN.md "Parallel
+    execution model"): each destination of a round routes against a
+    scratch CDG clone and frozen weights, and the round commits in
+    order by replaying each journal onto the authoritative CDG,
+    re-routing sequentially when a replay no longer holds. Round
+    boundaries and commit order depend only on the seeded destination
+    order, so tables, counters and provenance trails are byte-identical
+    for every job count ([Pool.set_default_jobs]). *)
 
 type options = {
   strategy : Partition.strategy; (** destination partitioning (default Kway) *)
@@ -35,6 +45,10 @@ type run_stats = {
   impasse_dests : int;
   initial_deps : int;    (** escape-path dependencies over all layers *)
   cycle_searches : int;  (** DFS count, all layers (Section 4.6.1) *)
+  misspeculations : int;
+  (** speculative destination routes discarded at commit time and
+      re-routed sequentially (see DESIGN.md "Parallel execution
+      model") *)
   roots : int array;     (** escape-tree root per layer *)
 }
 

@@ -100,16 +100,29 @@ let enable () = Obs.set_switch sw true
 
 let disable () = Obs.set_switch sw false
 
+(* Run and layer builders live on the routing driver's domain: layers
+   open and close outside any pool region, so workers only ever read
+   them. The {e trail} builder is domain-local: each pool worker
+   records the destination it is currently speculating into its own
+   slot, the driver collects finished trails through {!take_dest} (as
+   part of each destination's speculation result) and appends them to
+   the run in commit order via {!commit_dest} — dest-ordered
+   concatenation, independent of the worker schedule. *)
 let current : run_builder option ref = ref None
 
 let cur_layer : layer_builder option ref = ref None
 
-let cur_trail : trail_builder option ref = ref None
+let cur_trail_key =
+  Domain.DLS.new_key (fun () : trail_builder option -> None)
+
+let get_trail () = Domain.DLS.get cur_trail_key
+
+let set_trail v = Domain.DLS.set cur_trail_key v
 
 let clear () =
   current := None;
   cur_layer := None;
-  cur_trail := None
+  set_trail None
 
 let start_run ~strategy ~seed ~vcs =
   if enabled () then begin
@@ -118,7 +131,7 @@ let start_run ~strategy ~seed ~vcs =
         { rb_strategy = strategy; rb_seed = seed; rb_vcs = vcs;
           rb_rev_layers = []; rb_rev_trails = [] };
     cur_layer := None;
-    cur_trail := None
+    set_trail None
   end
 
 let begin_layer ~layer ~root ~cdg =
@@ -141,18 +154,34 @@ let record_escape_prepared ~channels ~initial_deps =
 
 let begin_dest ~dest =
   match (!current, !cur_layer) with
-  | Some r, Some lb ->
+  | Some _, Some lb ->
     let tb =
       { b_dest = dest; b_layer = lb.lb_layer; b_root = lb.lb_root;
         b_escape_fallback = false; b_rev_steps = [] }
     in
-    r.rb_rev_trails <- tb :: r.rb_rev_trails;
-    cur_trail := Some tb;
+    set_trail (Some tb);
     Obs.incr c_trails
   | _ -> ()
 
+type pending = trail_builder
+
+let take_dest () =
+  let t = get_trail () in
+  set_trail None;
+  t
+
+let commit_dest tb =
+  match !current with
+  | None -> ()
+  | Some r -> r.rb_rev_trails <- tb :: r.rb_rev_trails
+
+let end_dest () =
+  match take_dest () with
+  | None -> ()
+  | Some tb -> commit_dest tb
+
 let push step =
-  match !cur_trail with
+  match get_trail () with
   | None -> ()
   | Some tb ->
     tb.b_rev_steps <- step :: tb.b_rev_steps;
@@ -177,7 +206,7 @@ let record_impasse ~islands = if enabled () then push (Impasse { islands })
 
 let record_escape_fallback ~unsolved =
   if enabled () then begin
-    (match !cur_trail with
+    (match get_trail () with
      | None -> ()
      | Some tb -> tb.b_escape_fallback <- true);
     push (Escape_fallback { unsolved })

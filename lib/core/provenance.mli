@@ -128,6 +128,29 @@ val record_escape_prepared :
 (** Called by [Escape.prepare] once the layer's escape tree is seeded. *)
 
 val begin_dest : dest:int -> unit
+(** Open a trail for one destination on the {e calling domain}: the
+    recording hooks below append to the calling domain's open trail, so
+    pool workers speculating different destinations never interleave
+    steps. The trail does not join the run until {!commit_dest}. *)
+
+type pending
+(** A finished (or abandoned) destination trail, detached from the
+    recorder and safe to hand across domains. *)
+
+val take_dest : unit -> pending option
+(** Detach the calling domain's open trail. Parallel Nue calls this on
+    the worker right after the speculation finishes and ships the
+    result home with the routing result. *)
+
+val commit_dest : pending -> unit
+(** Append a detached trail to the current run. The routing driver
+    commits trails in destination order — the same order the
+    sequential path records them — so provenance output is independent
+    of the worker schedule. No-op if no run is being recorded. *)
+
+val end_dest : unit -> unit
+(** [take_dest] + [commit_dest] in one step: the sequential-path
+    shorthand for "this destination's trail is final". *)
 
 val record_check :
   channel:int -> onto:int -> omega_before:int -> check_subject -> unit

@@ -8,11 +8,19 @@
     plain call of its argument — no allocation, no clock read — so the
     counters can live inside inner loops without a measurable cost.
 
-    The registry is global and process-wide, matching how the paper's
-    quantities (omega-memoization effectiveness, heap op counts,
-    per-engine wall time) are reported: as totals over a run. Drivers
-    that want per-phase numbers bracket the phase with {!reset} and
-    {!snapshot}.
+    Registration (name → handle) is global and process-wide, matching
+    how the paper's quantities (omega-memoization effectiveness, heap op
+    counts, per-engine wall time) are reported: as totals over a run.
+    The {e values}, however, are sharded per domain: every domain owns a
+    private set of cells (reached through domain-local storage), so
+    concurrent increments from a domain pool never race. A worker drains
+    its shard when its work ends ({!drain_shard}) and the spawning
+    domain folds it in ({!absorb_shard}); [Nue_parallel.Pool] does this
+    in worker-index order, making merged totals a function of the work
+    performed, not of the schedule. On a single domain nothing changes:
+    {!snapshot}/{!reset}/{!peek} act on the calling domain's shard, and
+    drivers that want per-phase numbers bracket the phase with {!reset}
+    and {!snapshot} as before.
 
     This library deliberately depends on nothing (not even [unix]):
     timers read the clock through {!set_clock}, which the pipeline
@@ -74,7 +82,20 @@ val set_clock : (unit -> float) -> unit
 (** {1 Counters} *)
 
 val counter : string -> counter
-(** Register (or look up) the counter with this name. *)
+(** Register (or look up) the counter with this name. Shard merges sum
+    its per-domain values. *)
+
+val max_counter : string -> counter
+(** Register (or look up) a {e peak} counter: {!absorb_shard} merges it
+    by taking the maximum of the two shards' values instead of their
+    sum — the right semantics for high-water marks observed
+    independently on each domain. Registration is idempotent, but the
+    merge kind is fixed by the first registration. *)
+
+val note_max : counter -> int -> unit
+(** Raise the counter to [n] if [n] is larger (the per-domain peak
+    update for a {!max_counter}). Never allocates; a single flag test
+    when disabled. *)
 
 val incr : counter -> unit
 (** Add 1 when enabled; a single flag test when disabled. Never
@@ -125,7 +146,26 @@ val snapshot : unit -> snapshot
     registration or mutation order. *)
 
 val reset : unit -> unit
-(** Zero every counter and timer (registrations are kept). *)
+(** Zero every counter and timer cell of the calling domain's shard
+    (registrations are kept). *)
+
+(** {1 Shard transfer}
+
+    The merge half of the per-domain sharding: a worker domain calls
+    {!drain_shard} after its tasks finish, hands the result to the
+    spawning domain, and the spawner calls {!absorb_shard}. Sum counters
+    add, {!max_counter} peaks take the larger value, timers add both
+    seconds and activations. Running manual scopes do not travel — stop
+    timers before draining. *)
+
+type shard
+(** A drained, immutable copy of one domain's cells. *)
+
+val drain_shard : unit -> shard
+(** Snapshot the calling domain's cells and zero them. *)
+
+val absorb_shard : shard -> unit
+(** Fold a drained shard into the calling domain's cells. *)
 
 val find : snapshot -> string -> int
 (** Counter value in a snapshot; 0 when absent. *)

@@ -21,84 +21,106 @@ let null_handle = 0
 
    The tracer carries its own flag, independent of [Obs.on]: counters
    are cheap enough to run over a whole bench sweep, while span capture
-   buffers events and is usually scoped to a single traced run. *)
+   buffers events and is usually scoped to a single traced run. The
+   flag and the buffer cap are global configuration ([Atomic]); all
+   recording state below is per-domain. *)
 
-let on = ref false
+let on = Atomic.make false
 
-let enabled () = !on
+let enabled () = Atomic.get on
 
-let enable () = on := true
+let enable () = Atomic.set on true
 
-let disable () = on := false
+let disable () = Atomic.set on false
 
-(* {1 Deterministic clock}
-
-   Default is the internal tick counter: every recorded event advances
-   it by one, so timestamps are a pure function of the event sequence —
-   two identical seeded runs serialize identically. [set_clock] installs
-   an external integer clock (the simulator plugs its cycle counter in),
-   [use_tick_clock] switches back, jumping the tick past the largest
-   stamp already emitted so the timeline stays monotonic. *)
-
-let tick = ref 0
-
-let last_ts = ref 0
-
-let custom_clock : (unit -> int) option ref = ref None
-
-let set_clock f = custom_clock := Some f
-
-let use_tick_clock () =
-  custom_clock := None;
-  if !tick <= !last_ts then tick := !last_ts + 1
-
-let now () =
-  match !custom_clock with Some f -> f () | None -> !tick
-
-(* {1 Event buffer}
-
-   A growable array capped at [capacity]: events past the cap are
-   counted as dropped rather than forcing an unbounded trace. The stack
-   bookkeeping keeps running even when events are dropped, so nesting
-   stays consistent. *)
-
-let dummy = { name = ""; phase = Instant; ts = 0; args = [] }
-
-let capacity = ref 262_144
+let capacity = Atomic.make 262_144
 
 let set_capacity n =
   if n < 1 then invalid_arg "Span.set_capacity: capacity must be >= 1";
-  capacity := n
+  Atomic.set capacity n
 
-let buf = ref (Array.make 1024 dummy)
+(* {1 Per-domain recorder}
 
-let len = ref 0
+   Every domain records into its own buffer with its own tick clock and
+   nesting stack, reached through [Domain.DLS] — concurrent spans from
+   a domain pool never interleave mid-nest. A worker's buffer is drained
+   at pool join ([drain_events]) and appended to the spawning domain's
+   buffer ([absorb_events]) with fresh local stamps, so the merged
+   timeline stays monotonic and each worker's nesting arrives intact.
 
-let dropped_events = ref 0
+   The tick default makes timestamps a pure function of the (local)
+   event sequence — two identical seeded single-domain runs serialize
+   identically. [set_clock] installs an external integer clock (the
+   simulator plugs its cycle counter in), [use_tick_clock] switches
+   back, jumping the tick past the largest stamp already emitted so the
+   timeline stays monotonic. *)
 
-let record name phase args =
+type state = {
+  mutable tick : int;
+  mutable last_ts : int;
+  mutable custom_clock : (unit -> int) option;
+  mutable buf : event array;
+  mutable len : int;
+  mutable dropped_events : int;
+  mutable stack : string list;
+  mutable depth : int;
+}
+
+let dummy = { name = ""; phase = Instant; ts = 0; args = [] }
+
+let fresh_state () = {
+  tick = 0;
+  last_ts = 0;
+  custom_clock = None;
+  buf = Array.make 1024 dummy;
+  len = 0;
+  dropped_events = 0;
+  stack = [];
+  depth = 0;
+}
+
+let state_key = Domain.DLS.new_key fresh_state
+
+let st () = Domain.DLS.get state_key
+
+let set_clock f = (st ()).custom_clock <- Some f
+
+let use_tick_clock () =
+  let s = st () in
+  s.custom_clock <- None;
+  if s.tick <= s.last_ts then s.tick <- s.last_ts + 1
+
+let now () =
+  let s = st () in
+  match s.custom_clock with Some f -> f () | None -> s.tick
+
+(* Events past the cap are counted as dropped rather than forcing an
+   unbounded trace. The stack bookkeeping keeps running even when
+   events are dropped, so nesting stays consistent. *)
+let record s name phase args =
   let ts =
-    match !custom_clock with
+    match s.custom_clock with
     | Some f -> f ()
     | None ->
-      let t = !tick in
-      tick := t + 1;
+      let t = s.tick in
+      s.tick <- t + 1;
       t
   in
-  if ts > !last_ts then last_ts := ts;
-  if !len >= Array.length !buf && Array.length !buf < !capacity then begin
-    let nlen = min !capacity (2 * Array.length !buf) in
+  if ts > s.last_ts then s.last_ts <- ts;
+  let cap = Atomic.get capacity in
+  if s.len >= Array.length s.buf && Array.length s.buf < cap then begin
+    let nlen = min cap (2 * Array.length s.buf) in
     let nbuf = Array.make nlen dummy in
-    Array.blit !buf 0 nbuf 0 !len;
-    buf := nbuf
+    Array.blit s.buf 0 nbuf 0 s.len;
+    s.buf <- nbuf
   end;
   (* The cap may sit below the physical array size (set_capacity after
      the buffer already grew, or below the initial 1024). *)
-  if !len < !capacity && !len < Array.length !buf then begin
-    !buf.(!len) <- { name; phase; ts; args };
-    len := !len + 1
+  if s.len < cap && s.len < Array.length s.buf then begin
+    s.buf.(s.len) <- { name; phase; ts; args };
+    s.len <- s.len + 1
   end
-  else incr dropped_events
+  else s.dropped_events <- s.dropped_events + 1
 
 (* {1 Nesting}
 
@@ -109,47 +131,46 @@ let record name phase args =
    children close the children first. Totals are never corrupted
    either way. *)
 
-let stack : string list ref = ref []
+let push s name =
+  s.stack <- name :: s.stack;
+  s.depth <- s.depth + 1
 
-let depth = ref 0
-
-let push name =
-  stack := name :: !stack;
-  depth := !depth + 1
-
-let pop_record args =
-  match !stack with
+let pop_record s args =
+  match s.stack with
   | [] -> ()
   | name :: rest ->
-    stack := rest;
-    depth := !depth - 1;
-    record name End args
+    s.stack <- rest;
+    s.depth <- s.depth - 1;
+    record s name End args
 
 let enter ?(args = []) name =
-  if not !on then null_handle
+  if not (Atomic.get on) then null_handle
   else begin
-    record name Begin args;
-    push name;
-    !depth
+    let s = st () in
+    record s name Begin args;
+    push s name;
+    s.depth
   end
 
 let exit ?(args = []) h =
-  if !on && h > null_handle then
-    if !depth < h then begin
+  if Atomic.get on && h > null_handle then begin
+    let s = st () in
+    if s.depth < h then begin
       if Obs.debug () then
         invalid_arg "Span.exit: span already closed (double exit)"
     end
     else begin
-      if !depth > h && Obs.debug () then
+      if s.depth > h && Obs.debug () then
         invalid_arg "Span.exit: unclosed child spans";
-      while !depth > h do
-        pop_record []
+      while s.depth > h do
+        pop_record s []
       done;
-      pop_record args
+      pop_record s args
     end
+  end
 
 let with_ ?args name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let h = enter ?args name in
     match f () with
@@ -161,26 +182,57 @@ let with_ ?args name f =
       raise e
   end
 
-let instant ?(args = []) name = if !on then record name Instant args
+let instant ?(args = []) name =
+  if Atomic.get on then record (st ()) name Instant args
 
-let counter name args = if !on then record name Counter args
+let counter name args =
+  if Atomic.get on then record (st ()) name Counter args
 
 let reset () =
-  len := 0;
-  dropped_events := 0;
-  tick := 0;
-  last_ts := 0;
-  custom_clock := None;
-  stack := [];
-  depth := 0
+  let s = st () in
+  s.len <- 0;
+  s.dropped_events <- 0;
+  s.tick <- 0;
+  s.last_ts <- 0;
+  s.custom_clock <- None;
+  s.stack <- [];
+  s.depth <- 0
 
-let events () = Array.to_list (Array.sub !buf 0 !len)
+let events () =
+  let s = st () in
+  Array.to_list (Array.sub s.buf 0 s.len)
 
-let num_events () = !len
+let num_events () = (st ()).len
 
-let dropped () = !dropped_events
+let dropped () = (st ()).dropped_events
 
-let current_depth () = !depth
+let current_depth () = (st ()).depth
+
+(* {1 Shard transfer}
+
+   [drain_events] takes (and clears) the calling domain's buffer;
+   [absorb_events] re-records each event on the calling domain with a
+   fresh local stamp, preserving order. Worker stamps are meaningless on
+   the spawner's timeline (each worker ticks from zero), so re-stamping
+   keeps the merged trace monotonic; each worker's events arrive as a
+   contiguous, well-nested block. Dropped-event counts travel too. *)
+
+type drained = event list * int
+
+let drain_events () =
+  let s = st () in
+  let evs = Array.to_list (Array.sub s.buf 0 s.len) in
+  let dropped = s.dropped_events in
+  s.len <- 0;
+  s.dropped_events <- 0;
+  s.stack <- [];
+  s.depth <- 0;
+  (evs, dropped)
+
+let absorb_events (evs, dropped) =
+  let s = st () in
+  List.iter (fun e -> record s e.name e.phase e.args) evs;
+  s.dropped_events <- s.dropped_events + dropped
 
 (* {1 Chrome trace-event serialization}
 
@@ -249,16 +301,17 @@ let add_event b e =
   Buffer.add_char b '}'
 
 let to_chrome_string () =
-  let b = Buffer.create (256 + (96 * !len)) in
+  let s = st () in
+  let b = Buffer.create (256 + (96 * s.len)) in
   Buffer.add_string b {|{"traceEvents":[|};
-  for i = 0 to !len - 1 do
+  for i = 0 to s.len - 1 do
     if i > 0 then Buffer.add_char b ',';
-    add_event b !buf.(i)
+    add_event b s.buf.(i)
   done;
   Buffer.add_string b
     (Printf.sprintf
        {|],"displayTimeUnit":"ms","otherData":{"clock":"deterministic-ticks","dropped_events":%d}}|}
-       !dropped_events);
+       s.dropped_events);
   Buffer.contents b
 
 (* {1 Flamegraph summary}
@@ -284,11 +337,12 @@ let child_of n name =
     c
 
 let flamegraph ?(width = 80) () =
+  let s = st () in
   let root = fresh_node () in
   (* (node, begin ts) for every open span while walking the buffer. *)
   let walk_stack = ref [ (root, 0) ] in
-  for i = 0 to !len - 1 do
-    let e = !buf.(i) in
+  for i = 0 to s.len - 1 do
+    let e = s.buf.(i) in
     match e.phase with
     | Begin ->
       let parent = fst (List.hd !walk_stack) in

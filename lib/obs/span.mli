@@ -108,6 +108,29 @@ val set_capacity : int -> unit
 val current_depth : unit -> int
 (** Number of currently open spans. *)
 
+(** {1 Shard transfer}
+
+    Recording state (buffer, tick clock, nesting stack) is per-domain:
+    spans opened on a pool worker land in that worker's buffer. At pool
+    join, [Nue_parallel.Pool] drains each worker's buffer on the worker
+    and absorbs it on the spawning domain in worker-index order. Each
+    worker's events arrive as one contiguous well-nested block,
+    re-stamped with fresh local ticks so the merged timeline stays
+    monotonic. Span {e content} is deterministic per seeded run; the
+    per-worker grouping (hence exact stamp values) depends on the job
+    count, which is why byte-identity claims cover tables, counters and
+    provenance trails but not multi-domain span traces. *)
+
+type drained
+(** A drained, immutable copy of one domain's event buffer. *)
+
+val drain_events : unit -> drained
+(** Take (and clear) the calling domain's buffer and dropped count. *)
+
+val absorb_events : drained -> unit
+(** Append a drained buffer to the calling domain's buffer with fresh
+    local stamps, preserving order; dropped counts accumulate. *)
+
 (** {1 Export} *)
 
 val to_chrome_string : unit -> string

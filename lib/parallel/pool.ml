@@ -1,0 +1,100 @@
+module Obs = Nue_obs.Obs
+module Span = Nue_obs.Span
+
+let clamp_jobs n = if n < 1 then 1 else n
+
+let default_jobs_cell = Atomic.make 1
+
+let set_default_jobs n = Atomic.set default_jobs_cell (clamp_jobs n)
+
+let default_jobs () = Atomic.get default_jobs_cell
+
+let () =
+  match Sys.getenv_opt "NUE_JOBS" with
+  | None -> ()
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> set_default_jobs n
+     | _ -> ())
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* What a worker domain sends home at join: its observability shards,
+   and its outcome. Shards are drained on the worker (DLS is reachable
+   only from the owning domain) and absorbed on the caller, in
+   worker-index order, so merged totals do not depend on the schedule. *)
+type worker_result = {
+  w_obs : Obs.shard;
+  w_spans : Span.drained;
+  w_exn : exn option;
+}
+
+let run_with ?jobs ?(chunk = 1) ~n ~init body =
+  let jobs = clamp_jobs (match jobs with Some j -> j | None -> default_jobs ()) in
+  if n > 0 then begin
+    let chunk = max 1 chunk in
+    let nchunks = (n + chunk - 1) / chunk in
+    if jobs = 1 || n = 1 then begin
+      let ctx = init () in
+      for i = 0 to n - 1 do body ctx i done
+    end
+    else begin
+      let next = Atomic.make 0 in
+      let cancelled = Atomic.make false in
+      (* Claim chunks until the cursor runs past [n] or a failure
+         elsewhere cancels the remainder. *)
+      let work () =
+        let ctx = init () in
+        let rec loop () =
+          if not (Atomic.get cancelled) then begin
+            let start = Atomic.fetch_and_add next chunk in
+            if start < n then begin
+              let stop = min n (start + chunk) in
+              for i = start to stop - 1 do body ctx i done;
+              loop ()
+            end
+          end
+        in
+        loop ()
+      in
+      let nworkers = min (jobs - 1) (nchunks - 1) in
+      let doms =
+        Array.init nworkers (fun _ ->
+          Domain.spawn (fun () ->
+            let outcome =
+              match work () with
+              | () -> None
+              | exception e ->
+                Atomic.set cancelled true;
+                Some e
+            in
+            { w_obs = Obs.drain_shard ();
+              w_spans = Span.drain_events ();
+              w_exn = outcome }))
+      in
+      let caller_exn =
+        match work () with
+        | () -> None
+        | exception e ->
+          Atomic.set cancelled true;
+          Some e
+      in
+      let worker_exn = ref None in
+      Array.iter
+        (fun d ->
+           let r = Domain.join d in
+           Obs.absorb_shard r.w_obs;
+           Span.absorb_events r.w_spans;
+           match !worker_exn, r.w_exn with
+           | None, Some _ -> worker_exn := r.w_exn
+           | _ -> ())
+        doms;
+      match caller_exn, !worker_exn with
+      | Some e, _ -> raise e
+      | None, Some e -> raise e
+      | None, None -> ()
+    end
+  end
+
+let run ?jobs ?chunk ~n body =
+  run_with ?jobs ?chunk ~n ~init:(fun () -> ()) (fun () i -> body i)

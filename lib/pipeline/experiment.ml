@@ -155,7 +155,10 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let run ?(vcs = 8) ?dests ?sources ~engine b =
+let run ?(vcs = 8) ?dests ?sources ?jobs ~engine b =
+  (match jobs with
+   | Some j -> Nue_parallel.Pool.set_default_jobs j
+   | None -> ());
   let s = spec ~vcs ?dests ?sources b in
   let table, seconds =
     time (fun () ->
@@ -171,9 +174,9 @@ let run ?(vcs = 8) ?dests ?sources ~engine b =
    | None -> ());
   { engine; vcs; seconds; table; metrics }
 
-let run_all ?vcs b =
+let run_all ?vcs ?jobs b =
   List.map
-    (fun (module E : Engine.ENGINE) -> run ?vcs ~engine:E.name b)
+    (fun (module E : Engine.ENGINE) -> run ?vcs ?jobs ~engine:E.name b)
     (Engine.all ())
 
 let simulate ?config ~message_bytes table =

@@ -116,14 +116,18 @@ val run :
   ?vcs:int ->
   ?dests:int array ->
   ?sources:int array ->
+  ?jobs:int ->
   engine:string ->
   built ->
   outcome
 (** Route with the named engine and compute the full metrics record.
     Unknown engines and engine failures land in [outcome.table]'s
-    [Error] — never an exception. *)
+    [Error] — never an exception. [jobs] sets the domain-pool width for
+    this run (see {!Nue_parallel.Pool.set_default_jobs}); the routed
+    table is byte-identical for every value. Omitted, the pool default
+    (the [NUE_JOBS] environment variable, else 1) applies. *)
 
-val run_all : ?vcs:int -> built -> outcome list
+val run_all : ?vcs:int -> ?jobs:int -> built -> outcome list
 (** {!run} every registered engine (registry order). *)
 
 val time : (unit -> 'a) -> 'a * float

@@ -1,0 +1,41 @@
+module Pool = Nue_parallel.Pool
+
+(* Freeze-round batching for per-destination route computation that is
+   coupled only through balancing weights (MinHop, (DF)SSSP). Rounds
+   double from 1 up to [max_round]; at each round start [freeze]
+   snapshots the weights, every destination of the round computes
+   against that snapshot on the domain pool, then [commit] runs
+   sequentially in destination order (applying the weight updates). The
+   round schedule and commit order are independent of the job count, so
+   tables are byte-identical at any [Pool] size — including jobs = 1,
+   which runs the identical batched code inline. (Batching does change
+   what the tie-breaker sees compared to strictly sequential updates:
+   within a round, loads are one round stale.) *)
+let map ?(max_round = 32) ~freeze ~compute ~commit dests =
+  let n = Array.length dests in
+  let out = Array.make n None in
+  let i = ref 0 in
+  let round = ref 1 in
+  while !i < n do
+    let r = min !round (n - !i) in
+    let base = !i in
+    let frozen = freeze () in
+    if r = 1 then out.(base) <- Some (compute frozen dests.(base))
+    else
+      Pool.run ~n:r (fun k ->
+        out.(base + k) <- Some (compute frozen dests.(base + k)));
+    for k = 0 to r - 1 do
+      let v =
+        match out.(base + k) with
+        | Some v -> v
+        | None -> compute frozen dests.(base + k) (* skipped pool task *)
+      in
+      out.(base + k) <- Some v;
+      commit dests.(base + k) v
+    done;
+    i := !i + r;
+    round := min (2 * !round) max_round
+  done;
+  Array.map
+    (function Some v -> v | None -> assert false (* every slot filled *))
+    out

@@ -1,0 +1,25 @@
+(** Freeze-round batching: the parallelization scheme for per-destination
+    routing loops whose only cross-destination coupling is the balancing
+    weights (MinHop's channel loads, (DF)SSSP's tie-breaking weights).
+
+    [map ~freeze ~compute ~commit dests] processes [dests] in rounds of
+    doubling size (1, 2, 4, … up to [max_round], default 32). Each round
+    calls [freeze ()] once to snapshot the weights, computes every
+    destination of the round against that snapshot — sharded over
+    [Nue_parallel.Pool] — and then calls [commit dest result]
+    sequentially in destination order, which is where the weight updates
+    happen. Returns the per-destination results in input order.
+
+    Round boundaries and commit order depend only on the destination
+    order, never on the job count or domain schedule, so the computed
+    tables are byte-identical for any [Pool.set_default_jobs] value.
+    [compute] runs on pool workers: it must only read shared state (the
+    network, the frozen snapshot) and write nothing but its own result. *)
+
+val map :
+  ?max_round:int ->
+  freeze:(unit -> 'w) ->
+  compute:('w -> int -> 'a) ->
+  commit:(int -> 'a -> unit) ->
+  int array ->
+  'a array

@@ -11,12 +11,17 @@ let compute_paths net ~dests ~sources =
      (near-)minimal while spreading over parallel shortest routes, as
      OpenSM's SSSP engine does. *)
   let scale = Balance.tie_break_scale ~sources ~dests in
-  Array.map
-    (fun dest ->
-       let nexts, _dist = Graph_algo.dijkstra_to_dest net ~weights ~dest in
-       Balance.update_weights ~scale net ~weights ~nexts ~dest ~sources;
-       nexts)
-    dests
+  (* Rounds capped at 8: within a round every destination sees the same
+     frozen weights, so large rounds make equal-hop tie-breaking pile
+     onto the same parallel paths instead of spreading. 8 keeps the
+     balance quality ordering (dfsssp above up*/down* on the quality
+     fixtures) while still exposing 8-way parallelism. *)
+  Dest_batch.map ~max_round:8 dests
+    ~freeze:(fun () -> Array.copy weights)
+    ~compute:(fun frozen dest ->
+      fst (Graph_algo.dijkstra_to_dest net ~weights:frozen ~dest))
+    ~commit:(fun dest nexts ->
+      Balance.update_weights ~scale net ~weights ~nexts ~dest ~sources)
 
 let paths_only ?dests ?sources net =
   let dests, sources = defaults ?dests ?sources net in

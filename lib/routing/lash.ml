@@ -123,35 +123,38 @@ let run ?dests ?sources ~max_layers net =
   let src_pos = Array.make nn (-1) in
   Array.iteri (fun i sw -> src_pos.(sw) <- i) src_switches;
   let nsrc = Array.length src_switches in
-  let trees = Array.map (fun dw -> min_hop_tree net dw) dest_switches in
+  (* The per-destination trees have no cross-destination coupling at
+     all (LASH does not balance), so they shard over the pool with
+     results slotted by index — byte-identical at any job count. *)
+  let trees = Array.make (Array.length dest_switches) [||] in
+  Nue_parallel.Pool.run ~n:(Array.length dest_switches) (fun i ->
+    trees.(i) <- min_hop_tree net dest_switches.(i));
   match
     assign_layers net ~trees ~dest_switches ~src_switches ~src_pos ~max_layers
   with
   | None -> None
   | Some (layer_of, layer_count) ->
-    let next_channel =
-      Array.map
-        (fun dest ->
-           let dw = switch_of net dest in
-           let tree = trees.(dest_pos.(dw)) in
-           let nexts = Array.make nn (-1) in
-           for node = 0 to nn - 1 do
-             if node <> dest then
-               if node = dw then begin
-                 (* The destination's switch forwards onto the terminal
-                    link (or, if dest is the switch itself, nowhere). *)
-                 if Network.is_terminal net dest then
-                   match Nue_netgraph.Network.find_channel net dw dest with
-                   | Some c -> nexts.(node) <- c
-                   | None -> ()
-               end
-               else if Network.is_terminal net node then
-                 nexts.(node) <- (Network.out_channels net node).(0)
-               else nexts.(node) <- tree.(node)
-           done;
-           nexts)
-        dests
-    in
+    let next_channel = Array.map (fun _ -> [||]) dests in
+    Nue_parallel.Pool.run ~n:(Array.length dests) (fun di ->
+      let dest = dests.(di) in
+      let dw = switch_of net dest in
+      let tree = trees.(dest_pos.(dw)) in
+      let nexts = Array.make nn (-1) in
+      for node = 0 to nn - 1 do
+        if node <> dest then
+          if node = dw then begin
+            (* The destination's switch forwards onto the terminal
+               link (or, if dest is the switch itself, nowhere). *)
+            if Network.is_terminal net dest then
+              match Nue_netgraph.Network.find_channel net dw dest with
+              | Some c -> nexts.(node) <- c
+              | None -> ()
+          end
+          else if Network.is_terminal net node then
+            nexts.(node) <- (Network.out_channels net node).(0)
+          else nexts.(node) <- tree.(node)
+      done;
+      next_channel.(di) <- nexts);
     let vl =
       Array.map
         (fun dest ->

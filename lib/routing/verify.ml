@@ -27,11 +27,19 @@ let induced_vcdg ?sources (t : Table.t) =
     | Table.Per_dest a -> Some (fun pos -> a.(pos))
     | Table.Per_pair _ | Table.Per_hop _ -> None
   in
+  (* Per-destination dependency collection only reads the table and the
+     network, so it shards over the pool into per-destination edge
+     lists; the edges are then inserted sequentially in destination
+     order, keeping the digraph's adjacency order — and hence any cycle
+     witness — independent of the job count and domain schedule. *)
+  let nd = Array.length t.dests in
+  let collected = Array.make nd [] in
   (match per_dest_layer with
    | Some layer_of ->
-     let on_path = Array.make nn false in
-     Array.iteri
-       (fun pos dest ->
+     Nue_parallel.Pool.run_with ~n:nd
+       ~init:(fun () -> Array.make nn false)
+       (fun on_path pos ->
+          let dest = t.dests.(pos) in
           let vl = layer_of pos in
           let nexts = t.next_channel.(pos) in
           Array.fill on_path 0 nn false;
@@ -48,69 +56,75 @@ let induced_vcdg ?sources (t : Table.t) =
                in
                mark src 0)
             sources;
-          for node = 0 to nn - 1 do
+          let acc = ref [] in
+          for node = nn - 1 downto 0 do
             if on_path.(node) then begin
               let c1 = nexts.(node) in
               if c1 >= 0 then begin
                 let m = Network.dst t.net c1 in
                 if m <> dest && on_path.(m) then begin
                   let c2 = nexts.(m) in
-                  if c2 >= 0 then add (vid c1 vl) (vid c2 vl)
+                  if c2 >= 0 then acc := (vid c1 vl, vid c2 vl) :: !acc
                 end
               end
             end
-          done)
-       t.dests
+          done;
+          collected.(pos) <- !acc)
    | None ->
-     Array.iter
-       (fun dest ->
-          Array.iter
-            (fun src ->
-               if src <> dest then
-                 match Table.path_with_vls t ~src ~dest with
-                 | None -> ()
-                 | Some hops ->
-                   let rec walk = function
-                     | (c1, v1) :: ((c2, v2) :: _ as rest) ->
-                       add (vid c1 v1) (vid c2 v2);
-                       walk rest
-                     | _ -> ()
-                   in
-                   walk hops)
-            sources)
-       t.dests);
+     Nue_parallel.Pool.run ~n:nd (fun pos ->
+       let dest = t.dests.(pos) in
+       let acc = ref [] in
+       Array.iter
+         (fun src ->
+            if src <> dest then
+              match Table.path_with_vls t ~src ~dest with
+              | None -> ()
+              | Some hops ->
+                let rec walk = function
+                  | (c1, v1) :: ((c2, v2) :: _ as rest) ->
+                    acc := (vid c1 v1, vid c2 v2) :: !acc;
+                    walk rest
+                  | _ -> ()
+                in
+                walk hops)
+         sources;
+       collected.(pos) <- List.rev !acc));
+  Array.iter (List.iter (fun (a, b) -> add a b)) collected;
   g
 
 let check ?sources (t : Table.t) =
   let sources = match sources with Some s -> s | None -> default_sources t in
   let nc = Network.num_channels t.net in
   let nn = Network.num_nodes t.net in
-  let unreachable = ref 0 in
-  let cycle_free = ref true in
-  (* Stamped seen-set shared by every per-pair loop recheck: one array
-     for the whole call instead of a hashtable per unreachable pair. *)
-  let seen = Array.make nn 0 in
-  let clock = ref 0 in
-  Array.iter
-    (fun dest ->
+  (* The all-pairs recheck shards over the pool by destination, each
+     domain carrying its own stamped seen-set scratch. Per-destination
+     tallies land in index-slotted arrays and are folded sequentially:
+     sums and conjunctions commute, so the report is identical for any
+     job count. *)
+  let nd = Array.length t.dests in
+  let unreach_of = Array.make nd 0 in
+  let cycle_free_of = Array.make nd true in
+  Nue_parallel.Pool.run_with ~n:nd
+    ~init:(fun () -> (Array.make nn 0, ref 0))
+    (fun (seen, clock) pos ->
+       let dest = t.dests.(pos) in
+       let nexts = t.next_channel.(pos) in
        Array.iter
          (fun src ->
             if src <> dest then
               match Table.path t ~src ~dest with
               | Some _ -> ()
               | None ->
-                incr unreachable;
+                unreach_of.(pos) <- unreach_of.(pos) + 1;
                 (* Distinguish loop from dead-end: a dead-end is a
                    connectivity failure, a loop violates cycle-freedom.
                    [Table.path] returns None for both; recheck. *)
-                let pos = Table.dest_position t dest in
-                let nexts = t.next_channel.(pos) in
                 incr clock;
                 let node = ref src and stop = ref false in
                 while not !stop do
                   if !node = dest then stop := true
                   else if seen.(!node) = !clock then begin
-                    cycle_free := false;
+                    cycle_free_of.(pos) <- false;
                     stop := true
                   end
                   else begin
@@ -121,7 +135,12 @@ let check ?sources (t : Table.t) =
                   end
                 done)
          sources)
-    t.dests;
+  ;
+  let unreachable = ref 0 and cycle_free = ref true in
+  for pos = 0 to nd - 1 do
+    unreachable := !unreachable + unreach_of.(pos);
+    cycle_free := !cycle_free && cycle_free_of.(pos)
+  done;
   let g = induced_vcdg ~sources t in
   let cycle = Digraph.find_cycle g in
   {
@@ -138,13 +157,15 @@ let deadlock_free ?sources t =
 
 let connected ?sources (t : Table.t) =
   let sources = match sources with Some s -> s | None -> default_sources t in
-  Array.for_all
-    (fun dest ->
-       Array.for_all
-         (fun src ->
-            src = dest || Table.path t ~src ~dest <> None)
-         sources)
-    t.dests
+  let nd = Array.length t.dests in
+  let ok = Array.make nd true in
+  Nue_parallel.Pool.run ~n:nd (fun pos ->
+    let dest = t.dests.(pos) in
+    ok.(pos) <-
+      Array.for_all
+        (fun src -> src = dest || Table.path t ~src ~dest <> None)
+        sources);
+  Array.for_all Fun.id ok
 
 (* {1 Witness rendering}
 

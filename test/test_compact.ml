@@ -8,23 +8,33 @@
    routing-behavior change, not a refactor, and must re-record the
    digests deliberately (run the tool, explain the diff in the commit).
 
-   Six digests differ from the hashtable era, for two documented
-   reasons (see DESIGN.md "Graph representation & memory model"):
+   The recordings were last refreshed when route computation moved to
+   batched rounds over the domain pool (see DESIGN.md "Parallel
+   execution model"). Two engine families changed tables then, for one
+   documented reason:
 
-   - dfsssp on torus333/torus443/random12/dense16/random20:
-     [Digraph.find_cycle] now reports the deterministic
-     lowest-vertex-first cycle instead of a hash-order-dependent one,
-     which changes the victim channel dfsssp's cycle-breaking search
-     picks. Both old and new tables are valid deadlock-free solutions;
-     the new ones no longer depend on hash-bucket layout.
+   - sssp/dfsssp on ring8/torus333/torus443/random12/dense16/random20/
+     tree442: the per-destination Dijkstra loop now runs in freeze
+     rounds — every destination of a round is computed against the
+     weights frozen at the round boundary, with the balancing updates
+     committed sequentially in destination order afterwards. Equal-hop
+     tie-breaking therefore sees slightly staler loads than the
+     one-destination-at-a-time loop did. The tables remain minimal-path
+     and (for dfsssp) deadlock-free; only the spread across equal-cost
+     parallel paths shifts.
 
-   - nue on torus443: [Partition.kway]'s coarsening now reads
-     sort-merged (ascending-neighbor) adjacency lists instead of
-     hash-order lists, flipping one equal-weight matching choice. The
-     partition quality metrics are unchanged.
+   - nue on torus333/torus443/random12/dense16/random20: Nue's
+     per-layer destination loop runs in speculative batched rounds with
+     the same frozen-weight tie-breaking at round boundaries (CDG
+     admissions are replayed in order at commit, so deadlock-freedom is
+     unaffected).
 
-   All 60 other digests are byte-identical to the hashtable-era
-   recordings. *)
+   The round schedule is a pure function of the seeded destination
+   order — never of the job count — so these digests are stable for
+   any --jobs value (test_parallel.ml proves it). minhop, updown,
+   lash, static-cdg, torus2qos and fattree are byte-identical to the
+   pre-batching recordings: their parallelization only shards pure
+   per-destination computation. *)
 
 module Network = Nue_netgraph.Network
 module Topology = Nue_netgraph.Topology
@@ -72,9 +82,9 @@ let recorded =
        ("nue", "5c5a353f0e441caff535ccb6800cccd7") ]);
     ("ring8",
      [ ("minhop", "2a529b838c93656370f62760f2521adf");
-       ("sssp", "3e223a7bc65384e3dbbc856cfc8f4633");
+       ("sssp", "03e6900901340ae699e30ef210dbc40d");
        ("updown", "2e889d1203c08959931da1eab222812b");
-       ("dfsssp", "7d6042ff0d388ca9ae33411e7aa8bd1f");
+       ("dfsssp", "d5142e0f38984e93a63ffc9fe1de6ff1");
        ("lash", "6fc81a344e11c269e1169e0c45141860");
        ("static-cdg", "4f1d2440aa38870b59c03ca9144d48aa");
        ("nue", "42579f93e6655733163901fb5605f553") ]);
@@ -88,51 +98,51 @@ let recorded =
        ("nue", "959a6fc4d765bd3795d8c71f6476ec00") ]);
     ("torus333",
      [ ("minhop", "00d7c30aaa5dbf87559d8cdf14e4852a");
-       ("sssp", "7c3c15beb315ab680b21ef17fe5b000b");
+       ("sssp", "7442ea382a6ff8cfd18c7e76e14b055b");
        ("updown", "beb6212c4de4322fae7679bfcbc64cc1");
-       ("dfsssp", "0be4d181f2553d338dc09ee9328b8e77");
+       ("dfsssp", "44c2c9d94fddde57898d66428d69c50c");
        ("lash", "102a6997190d5c53e50e198e39c62991");
        ("static-cdg", "b756f309ed2247879994583a0c4d3c3a");
-       ("nue", "722857c367f4a35a9d603c63a99fcf24");
+       ("nue", "6d984992f149f43eb98441caf7aa62e9");
        ("torus2qos", "f20d8dd5e1d7acaa87f27e03f3ffc803") ]);
     ("torus443",
      [ ("minhop", "352e4808fbda0eb64a6ba41b811db4b1");
-       ("sssp", "06bb0d1a5b3ff2ee77df1a2919c3812f");
+       ("sssp", "e4ac2c04d61d916d80b6088d5e8d9410");
        ("updown", "8a31c12fd189c594f137f9592c5b76a5");
-       ("dfsssp", "e0146722c21689b200c892ec84631056");
+       ("dfsssp", "c65bcf48bd7070ab1a012ef7dc4156f9");
        ("lash", "a1bb9863e315e5f33241cd4dc26ea770");
        ("static-cdg", "c1f891e61a7deeef2f4e034cd65abbfd");
-       ("nue", "91a2fb701dbaad3e818b109a21251568");
+       ("nue", "7cf0df2e984b370dcd3fb6119a4e9069");
        ("torus2qos", "4c9281c2764a32e104d16bcbf287a4ba") ]);
     ("random12",
      [ ("minhop", "5d5aac3e1603c58a4d6e0c202bc010f6");
-       ("sssp", "e64e5cff63ca50fbe5c87f2ad19948ec");
+       ("sssp", "23e5ae860f3cb5119f620203f12f866c");
        ("updown", "1b76d53235b47cf79aff77ed79489653");
-       ("dfsssp", "a348ec6c3b2b51f7eebd3a161ed9b97f");
+       ("dfsssp", "31f2a05bfac92354061dc2c31492668a");
        ("lash", "91d773b3d926a5d32768fb56059372e7");
        ("static-cdg", "75d16c60140738dfdf2eb83b4065001e");
-       ("nue", "c0a1bf46792dca3e71cbdab6b89de839") ]);
+       ("nue", "d7981f5844ad9e84caff22fcc6930cd0") ]);
     ("dense16",
      [ ("minhop", "64e9ec43ca902df8278d9fd39e308aeb");
-       ("sssp", "dc3d09aeb3bb8381c9a03cd386d81740");
+       ("sssp", "fb2ce673f9f1005200bd147e2067b6f9");
        ("updown", "3e8fa818410f642a3fede44a6576d035");
-       ("dfsssp", "1961a42ef4e22b3673cd3ffa5ccd90bd");
+       ("dfsssp", "3adaca961b0b6492492ef305aaa30d0e");
        ("lash", "dbab98d9f204fb2a24c171f923e1cba4");
        ("static-cdg", "6f044e0889576e89d7bde44cdbbbe8ea");
-       ("nue", "e1113461641d0ca29b8fff8ceb4a12f2") ]);
+       ("nue", "f1090e30fde85ea2846b9d0c6764da9f") ]);
     ("random20",
      [ ("minhop", "00bc3825ac6e89b3b913107ca70aa4ee");
-       ("sssp", "d4eff65c2905dad412f16ddf7f1bf759");
+       ("sssp", "1fa882c09cf0b387581fdfe28b859834");
        ("updown", "3c11a0176a739929cff1eab41a12ce63");
-       ("dfsssp", "b29b57a14b00f480360d11d0210e43b0");
+       ("dfsssp", "091c0c0ceb4e804408d2a8d1f4fad4f9");
        ("lash", "c216630cf56f47cb863916fe8805986d");
        ("static-cdg", "78f152ca80b12db1d91fc37d76eab7a0");
-       ("nue", "51cfa2e31a88cac1ff6537824768d538") ]);
+       ("nue", "df454ab5f7488267a775cc03f17520ce") ]);
     ("tree442",
      [ ("minhop", "62463767c834da5ccafa87a1f985d4f0");
-       ("sssp", "8268a80c3ad236f676c3964225f39d69");
+       ("sssp", "5681611904e3b3139d9b0cc0478d8ad3");
        ("updown", "779b592e5e99c408525f4de06c076869");
-       ("dfsssp", "35c3da3d4c85a09cf0960f3070bdd962");
+       ("dfsssp", "f4f4c5feed1369da468ddff73e9f807f");
        ("lash", "3a4e524493d9923a8e84d9b21ee622f6");
        ("static-cdg", "e8f98084bceead520dbb17611afa1f91");
        ("nue", "26a43e51a4820da1f9a846c613fbc54a");

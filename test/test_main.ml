@@ -19,4 +19,5 @@ let () =
          Test_heap_model.suite;
          Test_reconfig.suite;
          Test_invariants.suite;
-         Test_compact.suite ])
+         Test_compact.suite;
+         Test_parallel.suite ])
