@@ -50,19 +50,41 @@ let moved a b =
   Float.abs (b -. a) > eps
   && (a = 0.0 || Float.abs ((b -. a) /. a) > 0.005)
 
+(* Most trajectory quantities read lower-is-better (wall seconds, heap
+   words), and the diff stays judgement-free about them. Keys whose
+   last dotted segment mentions "speedup" are the exception: higher is
+   better, so a drop must read as a regression, not as an improvement
+   hiding in a wall of deltas. Tagged in the output and tallied so CI
+   can grep for it. *)
+let higher_is_better k =
+  let seg =
+    match String.rindex_opt k '.' with
+    | Some i -> String.sub k (i + 1) (String.length k - i - 1)
+    | None -> k
+  in
+  let n = String.length seg in
+  let m = 7 (* length of "speedup" *) in
+  let rec scan i =
+    if i + m > n then false
+    else if String.sub seg i m = "speedup" then true
+    else scan (i + 1)
+  in
+  scan 0
+
 (* Tally of one comparison. Added/removed keys are tracked apart from
    changed values: a quantity present in only one report (a new
    experiment section, a retired counter) is coverage drift, not a
    perf regression, and must not trip the "no measurable differences"
    check CI greps for. *)
-type tally = { changed : int; added : int; removed : int }
+type tally = { changed : int; added : int; removed : int; regressions : int }
 
-let no_tally = { changed = 0; added = 0; removed = 0 }
+let no_tally = { changed = 0; added = 0; removed = 0; regressions = 0 }
 
 let ( ++ ) a b =
   { changed = a.changed + b.changed;
     added = a.added + b.added;
-    removed = a.removed + b.removed }
+    removed = a.removed + b.removed;
+    regressions = a.regressions + b.regressions }
 
 let diff_experiment name base cur =
   let base_flat = flatten base and cur_flat = flatten cur in
@@ -90,16 +112,25 @@ let diff_experiment name base cur =
            let pct =
              if b = 0.0 then "" else Printf.sprintf " (%+.1f%%)" (100.0 *. (v -. b) /. b)
            in
-           Printf.printf "  %-40s %14g -> %-14g%s\n" k b v pct
+           let tag =
+             if not (higher_is_better k) then ""
+             else if v < b then "  REGRESSION (speedup: higher is better)"
+             else "  improvement"
+           in
+           Printf.printf "  %-40s %14g -> %-14g%s%s\n" k b v pct tag
          | None, Some v -> Printf.printf "  %-40s %14s -> %-14g (added)\n" k "-" v
          | Some b, None -> Printf.printf "  %-40s %14g -> %-14s (removed)\n" k b "-"
          | None, None -> ())
       changes
   end;
   List.fold_left
-    (fun acc (_, b, v) ->
+    (fun acc (k, b, v) ->
        match (b, v) with
-       | Some _, Some _ -> acc ++ { no_tally with changed = 1 }
+       | Some b, Some v ->
+         acc
+         ++ { no_tally with
+              changed = 1;
+              regressions = (if higher_is_better k && v < b then 1 else 0) }
        | None, Some _ -> acc ++ { no_tally with added = 1 }
        | Some _, None -> acc ++ { no_tally with removed = 1 }
        | None, None -> acc)
@@ -131,4 +162,6 @@ let run ~baseline ~current =
     Printf.printf "\n%d differing quantit%s\n" t.changed
       (if t.changed = 1 then "y" else "ies");
   if t.added > 0 || t.removed > 0 then
-    Printf.printf "coverage drift: %d added, %d removed\n" t.added t.removed
+    Printf.printf "coverage drift: %d added, %d removed\n" t.added t.removed;
+  if t.regressions > 0 then
+    Printf.printf "%d speedup regression(s) (higher is better)\n" t.regressions

@@ -12,10 +12,10 @@
 let usage () =
   print_endline
     "experiments: tab1 topo-stats trace telemetry fig1a fig1b fig9 sec51 fig10\n\
-    \             fig11 churn scale abl-partition abl-root abl-opt abl-weights\n\
-    \             abl-impasse bechamel\n\
-    \             (scale routes 3k-10k-switch topologies — minutes of CPU —\n\
-    \              and is not part of the no-argument default set)\n\
+    \             fig11 churn scale profile abl-partition abl-root abl-opt\n\
+    \             abl-weights abl-impasse bechamel\n\
+    \             (scale and profile route 3k-10k-switch topologies — minutes\n\
+    \              of CPU — and are not part of the no-argument default set)\n\
      flags: --full (paper-scale), --sim (flit-level simulation),\n\
     \        --no-sim, --topos N (fig9 topology count)\n\
      every run writes machine-readable results to BENCH_nue.json and\n\
@@ -85,6 +85,7 @@ let () =
     if has "fig11" then Fig11.run ~full ();
     if has "churn" then Churn_bench.run ~full ();
     if has "scale" then Scale_bench.run ~full ();
+    if has "profile" then Profile_bench.run ~full ();
     if has "abl-partition" then Ablations.partitioning ~full ();
     if has "abl-root" then Ablations.root_selection ~full ();
     if has "abl-opt" then Ablations.optimizations ~full ();

@@ -841,6 +841,121 @@ let compare_cmd =
        ~doc:"Run every registered routing engine and compare quality")
     Term.(const run $ build_t $ vcs_t $ jobs_t $ trace_t)
 
+let profile_cmd =
+  let module P = Nue_obs.Profile in
+  let run built algorithm vcs jobs timelines format =
+    set_jobs jobs;
+    let o, prof =
+      Experiment.with_profile (fun () ->
+          Experiment.run ~vcs ~engine:algorithm built)
+    in
+    match format with
+    | `Json ->
+      print_endline
+        (Json.to_string_pretty
+           (json_payload built o
+              [ ("profile", Experiment.profile_to_json prof) ]));
+      exit (exit_code_of o)
+    | _ ->
+      Printf.printf "engine: %s\n" algorithm;
+      Printf.printf "window: %.4f s wall\n" prof.P.p_wall_seconds;
+      Printf.printf "  serial (outside pool regions): %.4f s\n"
+        prof.P.p_serial_seconds;
+      Printf.printf "  pool regions: %.4f s wall, %.4f s busy across %s\n"
+        prof.P.p_pool_wall_seconds prof.P.p_parallel_busy_seconds
+        (if prof.P.p_max_jobs > 0 then
+           Printf.sprintf "up to %d domain(s)" prof.P.p_max_jobs
+         else "no domains");
+      Printf.printf "measured Amdahl serial fraction: %.4f" prof.P.p_serial_fraction;
+      if prof.P.p_serial_fraction > 0. then
+        Printf.printf " (max speedup %.1fx; %.2fx predicted at %d jobs)\n"
+          (1. /. prof.P.p_serial_fraction)
+          (P.amdahl_speedup prof ~jobs:(max 1 prof.P.p_max_jobs))
+          (max 1 prof.P.p_max_jobs)
+      else print_newline ();
+      Printf.printf "pool utilization: %.1f%%\n" (100. *. prof.P.p_utilization);
+      if prof.P.p_committed + prof.P.p_live > 0 then
+        Printf.printf
+          "speculation: %d committed, %d misspeculated, %d routed live over \
+           %d round(s)\n"
+          prof.P.p_committed prof.P.p_misspeculated prof.P.p_live
+          (List.length prof.P.p_rounds + prof.P.p_rounds_dropped);
+      (* Pool regions, aggregated by label. *)
+      let tbl = Hashtbl.create 8 in
+      let order = ref [] in
+      List.iter
+        (fun (r : P.pool_region) ->
+           let wall = Float.max 0. (r.P.pr_t1 -. r.P.pr_t0) in
+           let busy =
+             Array.fold_left
+               (fun a w -> a +. w.P.ws_busy_seconds) 0. r.P.pr_workers
+           in
+           let chunks =
+             Array.fold_left (fun a w -> a + w.P.ws_chunks) 0 r.P.pr_workers
+           in
+           match Hashtbl.find_opt tbl r.P.pr_label with
+           | None ->
+             order := r.P.pr_label :: !order;
+             Hashtbl.add tbl r.P.pr_label
+               (ref 1, ref wall, ref busy, ref chunks, ref r.P.pr_jobs)
+           | Some (n, w, b, c, j) ->
+             incr n;
+             w := !w +. wall;
+             b := !b +. busy;
+             c := !c + chunks;
+             j := max !j r.P.pr_jobs)
+        prof.P.p_regions;
+      if !order <> [] then begin
+        Printf.printf "\n%-18s %8s %6s %10s %10s %8s %7s\n" "pool region"
+          "regions" "jobs" "wall(s)" "busy(s)" "chunks" "util";
+        List.iter
+          (fun label ->
+             let n, w, b, c, j = Hashtbl.find tbl label in
+             let util =
+               if !w > 0. && !j > 0 then
+                 100. *. !b /. (!w *. float_of_int !j)
+               else 0.
+             in
+             Printf.printf "%-18s %8d %6d %10.4f %10.4f %8d %6.1f%%\n" label
+               !n !j !w !b !c util)
+          (List.rev !order)
+      end;
+      if timelines > 0 then begin
+        (* The per-worker busy bars of the longest regions. *)
+        let top =
+          List.sort
+            (fun (a : P.pool_region) (b : P.pool_region) ->
+               compare (b.P.pr_t1 -. b.P.pr_t0) (a.P.pr_t1 -. a.P.pr_t0))
+            prof.P.p_regions
+        in
+        let rec take k = function
+          | x :: tl when k > 0 -> x :: take (k - 1) tl
+          | _ -> []
+        in
+        let top = take timelines top in
+        if top <> [] then begin
+          print_newline ();
+          print_string (P.timeline { prof with P.p_regions = top })
+        end
+      end;
+      print_newline ();
+      print_string (P.alloc_flamegraph prof);
+      exit (exit_code_of o)
+  in
+  let timelines_t =
+    Arg.(value & opt int 3
+         & info [ "timelines" ] ~docv:"N"
+             ~doc:"Print per-worker busy/idle bars for the $(docv) \
+                   longest-running pool regions (0 disables).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Route with resource profiling: per-phase GC/alloc attribution, \
+             pool utilization timelines and the measured Amdahl serial \
+             fraction")
+    Term.(const run $ build_t $ algorithm_t $ vcs_t $ jobs_t $ timelines_t
+          $ format_t)
+
 let () =
   let info =
     Cmd.info "nue_route" ~version:"1.0.0"
@@ -850,4 +965,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ route_cmd; sim_cmd; dump_cmd; export_cmd; compare_cmd;
-            explain_cmd; inspect_cmd; churn_cmd ]))
+            explain_cmd; inspect_cmd; churn_cmd; profile_cmd ]))

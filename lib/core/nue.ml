@@ -5,6 +5,7 @@ module Balance = Nue_routing.Balance
 module Prng = Nue_structures.Prng
 module Obs = Nue_obs.Obs
 module Span = Nue_obs.Span
+module Profile = Nue_obs.Profile
 module Pool = Nue_parallel.Pool
 
 let c_layers = Obs.counter "nue.layers_routed"
@@ -102,12 +103,20 @@ let route_subset ~options ~cdg ~escape ~weights ~scale ~net ~sources ~layer
   let round = ref 1 in
   while !i < n do
     let r = min !round (n - !i) in
-    if r = 1 then route_live subset.(!i)
+    if r = 1 then begin
+      route_live subset.(!i);
+      if Profile.enabled () then
+        Profile.record_round
+          { Profile.rd_size = 1;
+            rd_committed = 0;
+            rd_misspeculated = 0;
+            rd_live = 1 }
+    end
     else begin
       let base = !i in
       let frozen = Array.copy weights in
       let results : speculation option array = Array.make r None in
-      Pool.run_with ~n:r
+      Pool.run_with ~n:r ~label:"nue.round"
         ~init:(fun () -> ref None)
         (fun scratch_cell k ->
            let scratch =
@@ -146,12 +155,20 @@ let route_subset ~options ~cdg ~escape ~weights ~scale ~net ~sources ~layer
                  sp_stats;
                  sp_searches = Complete_cdg.cycle_searches scratch - searches0;
                  sp_trail = Provenance.take_dest () });
+      let committed = ref 0 and round_misspecs = ref 0 and round_live = ref 0 in
+      (* The serial tail of every round: journal replays, weight
+         updates and misspeculation recomputes, in dest order. *)
+      Span.with_ "nue.commit" ~args:[ ("round", Span.Int r) ] (fun () ->
       for k = 0 to r - 1 do
         let dest = subset.(base + k) in
         match results.(k) with
-        | None -> route_live dest (* skipped task: route it for real *)
+        | None ->
+          (* skipped task: route it for real *)
+          incr round_live;
+          route_live dest
         | Some sp ->
           if Complete_cdg.replay cdg sp.sp_journal then begin
+            incr committed;
             stats.Nue_dijkstra.fallbacks <-
               stats.Nue_dijkstra.fallbacks + sp.sp_stats.Nue_dijkstra.fallbacks;
             stats.Nue_dijkstra.backtracks <-
@@ -175,9 +192,17 @@ let route_subset ~options ~cdg ~escape ~weights ~scale ~net ~sources ~layer
                speculation; its trail and stats are dropped with it. *)
             Obs.incr c_misspec;
             incr misspecs;
+            incr round_misspecs;
+            incr round_live;
             route_live dest
           end
-      done
+      done);
+      if Profile.enabled () then
+        Profile.record_round
+          { Profile.rd_size = r;
+            rd_committed = !committed;
+            rd_misspeculated = !round_misspecs;
+            rd_live = !round_live }
     end;
     i := !i + r;
     round := min (2 * !round) max_round

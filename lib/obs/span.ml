@@ -39,6 +39,36 @@ let set_capacity n =
   if n < 1 then invalid_arg "Span.set_capacity: capacity must be >= 1";
   Atomic.set capacity n
 
+(* {1 Scope hooks}
+
+   One optional global pair of callbacks, fired on every span open and
+   close while capture is enabled. This is the seam [Profile] (the
+   resource-attribution layer) plugs into: it cannot live inside this
+   module without coupling the tracer to [Gc], and it cannot wrap every
+   call site. Hooks see exactly the scopes the buffer sees — including
+   the forced closes of a saturating [exit] — so a hook that maintains
+   its own stack stays in lockstep with the tracer's. [None] (the
+   default) costs one atomic load per scope. *)
+
+type scope_hooks = {
+  on_scope_enter : string -> unit;
+  on_scope_exit : string -> unit;
+}
+
+let hooks : scope_hooks option Atomic.t = Atomic.make None
+
+let set_scope_hooks h = Atomic.set hooks h
+
+let hook_enter name =
+  match Atomic.get hooks with
+  | Some h -> h.on_scope_enter name
+  | None -> ()
+
+let hook_exit name =
+  match Atomic.get hooks with
+  | Some h -> h.on_scope_exit name
+  | None -> ()
+
 (* {1 Per-domain recorder}
 
    Every domain records into its own buffer with its own tick clock and
@@ -133,7 +163,8 @@ let record s name phase args =
 
 let push s name =
   s.stack <- name :: s.stack;
-  s.depth <- s.depth + 1
+  s.depth <- s.depth + 1;
+  hook_enter name
 
 let pop_record s args =
   match s.stack with
@@ -141,7 +172,8 @@ let pop_record s args =
   | name :: rest ->
     s.stack <- rest;
     s.depth <- s.depth - 1;
-    record s name End args
+    record s name End args;
+    hook_exit name
 
 let enter ?(args = []) name =
   if not (Atomic.get on) then null_handle

@@ -108,6 +108,23 @@ val set_capacity : int -> unit
 val current_depth : unit -> int
 (** Number of currently open spans. *)
 
+(** {1 Scope hooks}
+
+    A single optional global pair of callbacks fired on every span open
+    and close while capture is enabled — the seam the resource
+    profiler ({!Profile}) plugs into. Hooks observe exactly the scopes
+    the buffer records, including the forced child closes of a
+    saturating {!exit}, so a hook maintaining its own stack stays in
+    lockstep. [None] (the default, restored by {!Profile.disable})
+    costs one atomic load per scope. *)
+
+type scope_hooks = {
+  on_scope_enter : string -> unit;
+  on_scope_exit : string -> unit;
+}
+
+val set_scope_hooks : scope_hooks option -> unit
+
 (** {1 Shard transfer}
 
     Recording state (buffer, tick clock, nesting stack) is per-domain:

@@ -23,27 +23,39 @@
     Exceptions raised by [body] cancel the remaining chunks, are
     re-raised on the caller after all domains have joined (caller's own
     exception first, then the first failing worker by index), and do
-    not lose already-drained shards. *)
+    not lose already-drained shards.
+
+    When [Nue_obs.Profile] is enabled, every run additionally records a
+    profiling region named by [?label]: region wall clock, and per
+    participant the busy segments and chunk-claim counts that feed the
+    measured Amdahl serial-fraction accounting. Worker profile shards
+    (per-span alloc trees) are absorbed at join in worker-index order,
+    exactly like the counter shards; none of this runs while the
+    profiler is disabled. *)
 
 val set_default_jobs : int -> unit
 (** Set the process-wide default job count (clamped to >= 1). Read at
     [run] time by every call that does not pass [~jobs]. Initialized to
     1, or to [NUE_JOBS] when that environment variable holds a positive
-    integer. *)
+    integer; an invalid [NUE_JOBS] value prints an error on stderr and
+    keeps the default of 1. *)
 
 val default_jobs : unit -> int
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the host's useful maximum. *)
 
-val run : ?jobs:int -> ?chunk:int -> n:int -> (int -> unit) -> unit
+val run : ?jobs:int -> ?chunk:int -> ?label:string -> n:int -> (int -> unit) -> unit
 (** [run ~n body] runs [body 0 .. body (n-1)] across the pool.
     [chunk] (default 1) is the number of consecutive indices claimed at
-    a time — raise it when tasks are tiny. *)
+    a time — raise it when tasks are tiny. [label] (default ["pool"])
+    names the region in profiling reports (see below); it has no effect
+    while the profiler is disabled. *)
 
 val run_with :
   ?jobs:int ->
   ?chunk:int ->
+  ?label:string ->
   n:int ->
   init:(unit -> 'ctx) ->
   ('ctx -> int -> unit) ->

@@ -14,6 +14,7 @@ module Traffic = Nue_sim.Traffic
 module Prng = Nue_structures.Prng
 module Obs = Nue_obs.Obs
 module Span = Nue_obs.Span
+module Profile = Nue_obs.Profile
 
 (* Linking the pipeline must yield the complete registry: the baselines
    register from Nue_routing.Engine's own init, Nue from here. *)
@@ -22,6 +23,7 @@ let () = Nue_core.Nue_engine.ensure_registered ()
 (* Nue_obs itself is dependency-free and defaults to [Sys.time]; the
    pipeline has [unix], so give every linked driver real wall clocks. *)
 let () = Obs.set_clock Unix.gettimeofday
+let () = Profile.set_clock Unix.gettimeofday
 
 let c_runs = Obs.counter "pipeline.runs"
 let c_paths = Obs.counter "pipeline.paths_computed"
@@ -472,3 +474,85 @@ let with_spans f =
   | exception e ->
     ignore (finish ());
     raise e
+
+(* {1 Resource profiling} *)
+
+let with_profile f =
+  (* Alloc attribution rides on the span scope hooks, so the tracer
+     must be on for the profiled window; both flags are restored. *)
+  let span_was = Span.enabled () in
+  let prof_was = Profile.enabled () in
+  Span.reset ();
+  Span.enable ();
+  Profile.enable ();
+  Profile.reset ();
+  let finish () =
+    let report = Profile.report () in
+    if not prof_was then Profile.disable ();
+    if not span_was then Span.disable ();
+    report
+  in
+  match f () with
+  | r -> (r, finish ())
+  | exception e ->
+    ignore (finish ());
+    raise e
+
+let profile_to_json (p : Profile.report) =
+  let rec node_to_json (n : Profile.alloc_node) =
+    Json.Obj
+      [ ("name", Json.Str n.Profile.an_name);
+        ("calls", Json.Int n.Profile.an_calls);
+        ("seconds", Json.Float n.Profile.an_seconds);
+        ("self_seconds", Json.Float n.Profile.an_self_seconds);
+        ("minor_words", Json.Float n.Profile.an_minor_words);
+        ("self_minor_words", Json.Float n.Profile.an_self_minor_words);
+        ("major_words", Json.Float n.Profile.an_major_words);
+        ("self_major_words", Json.Float n.Profile.an_self_major_words);
+        ("promoted_words", Json.Float n.Profile.an_promoted_words);
+        ("minor_collections", Json.Int n.Profile.an_minor_collections);
+        ("major_collections", Json.Int n.Profile.an_major_collections);
+        ("children", Json.List (List.map node_to_json n.Profile.an_children))
+      ]
+  in
+  let region_to_json (r : Profile.pool_region) =
+    let busy =
+      Array.fold_left
+        (fun a w -> a +. w.Profile.ws_busy_seconds)
+        0. r.Profile.pr_workers
+    in
+    let chunks =
+      Array.fold_left (fun a w -> a + w.Profile.ws_chunks) 0 r.Profile.pr_workers
+    in
+    Json.Obj
+      [ ("label", Json.Str r.Profile.pr_label);
+        ("jobs", Json.Int r.Profile.pr_jobs);
+        ("tasks", Json.Int r.Profile.pr_tasks);
+        ("wall_seconds",
+         Json.Float (Float.max 0. (r.Profile.pr_t1 -. r.Profile.pr_t0)));
+        ("busy_seconds", Json.Float busy);
+        ("chunks", Json.Int chunks) ]
+  in
+  Json.Obj
+    [ ("wall_seconds", Json.Float p.Profile.p_wall_seconds);
+      ("serial_seconds", Json.Float p.Profile.p_serial_seconds);
+      ("parallel_busy_seconds", Json.Float p.Profile.p_parallel_busy_seconds);
+      ("pool_wall_seconds", Json.Float p.Profile.p_pool_wall_seconds);
+      ("serial_fraction", Json.Float p.Profile.p_serial_fraction);
+      ("utilization", Json.Float p.Profile.p_utilization);
+      ("max_jobs", Json.Int p.Profile.p_max_jobs);
+      ("amdahl_max_speedup",
+       (* the asymptote 1/f of the measured fraction; infinite when the
+          window is entirely pool time *)
+       (let f = p.Profile.p_serial_fraction in
+        if f > 0. then Json.Float (1. /. f) else Json.Null));
+      ("speculation",
+       Json.Obj
+         [ ("rounds", Json.Int (List.length p.Profile.p_rounds));
+           ("rounds_dropped", Json.Int p.Profile.p_rounds_dropped);
+           ("committed", Json.Int p.Profile.p_committed);
+           ("misspeculated", Json.Int p.Profile.p_misspeculated);
+           ("live", Json.Int p.Profile.p_live) ]);
+      ("pool_regions", Json.List (List.map region_to_json p.Profile.p_regions));
+      ("pool_regions_dropped", Json.Int p.Profile.p_regions_dropped);
+      ("phases", Json.List (List.map node_to_json p.Profile.p_alloc)) ]

@@ -210,6 +210,25 @@ val with_spans : (unit -> 'a) -> 'a * Nue_obs.Span.event list
     enabled/disabled state; the event buffer is left intact so callers
     can serialize it. On exception the tracer state is still restored. *)
 
+val with_profile : (unit -> 'a) -> 'a * Nue_obs.Profile.report
+(** Run a thunk with the resource profiler enabled over a fresh window
+    and return its result together with the {!Nue_obs.Profile.report}:
+    per-span GC/alloc attribution, pool utilization regions,
+    speculation outcomes, and the measured Amdahl serial fraction. The
+    span tracer is reset and enabled too (alloc attribution rides on
+    its scope hooks); both enabled flags are restored afterwards, also
+    on exception. Profiling never changes routing results — the
+    profiler only reads [Gc.quick_stat] and the clock. *)
+
+val profile_to_json : Nue_obs.Profile.report -> Json.t
+(** Render a profile report:
+    [{"wall_seconds", "serial_seconds", "parallel_busy_seconds",
+      "serial_fraction", "utilization", "amdahl_max_speedup",
+      "speculation": {...}, "pool_regions": [...], "phases": [...]}],
+    where [phases] is the alloc tree (per node: calls,
+    seconds/self_seconds, minor/major/promoted words with self
+    variants, collection counts, children). *)
+
 val trace_to_json : Nue_obs.Obs.snapshot -> Json.t
 (** Render a snapshot as [{"counters": ..., "timers": ..., "derived":
     ...}]. The derived section reports the paper's headline

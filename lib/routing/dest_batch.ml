@@ -11,7 +11,7 @@ module Pool = Nue_parallel.Pool
    which runs the identical batched code inline. (Batching does change
    what the tie-breaker sees compared to strictly sequential updates:
    within a round, loads are one round stale.) *)
-let map ?(max_round = 32) ~freeze ~compute ~commit dests =
+let map ?(max_round = 32) ?label ~freeze ~compute ~commit dests =
   let n = Array.length dests in
   let out = Array.make n None in
   let i = ref 0 in
@@ -22,7 +22,7 @@ let map ?(max_round = 32) ~freeze ~compute ~commit dests =
     let frozen = freeze () in
     if r = 1 then out.(base) <- Some (compute frozen dests.(base))
     else
-      Pool.run ~n:r (fun k ->
+      Pool.run ?label ~n:r (fun k ->
         out.(base + k) <- Some (compute frozen dests.(base + k)));
     for k = 0 to r - 1 do
       let v =

@@ -14,10 +14,14 @@
     order, never on the job count or domain schedule, so the computed
     tables are byte-identical for any [Pool.set_default_jobs] value.
     [compute] runs on pool workers: it must only read shared state (the
-    network, the frozen snapshot) and write nothing but its own result. *)
+    network, the frozen snapshot) and write nothing but its own result.
+
+    [label] names the pool regions in profiling reports (see
+    [Nue_parallel.Pool.run]); it has no other effect. *)
 
 val map :
   ?max_round:int ->
+  ?label:string ->
   freeze:(unit -> 'w) ->
   compute:('w -> int -> 'a) ->
   commit:(int -> 'a -> unit) ->

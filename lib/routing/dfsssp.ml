@@ -16,7 +16,7 @@ let compute_paths net ~dests ~sources =
      onto the same parallel paths instead of spreading. 8 keeps the
      balance quality ordering (dfsssp above up*/down* on the quality
      fixtures) while still exposing 8-way parallelism. *)
-  Dest_batch.map ~max_round:8 dests
+  Dest_batch.map ~max_round:8 ~label:"sssp.round" dests
     ~freeze:(fun () -> Array.copy weights)
     ~compute:(fun frozen dest ->
       fst (Graph_algo.dijkstra_to_dest net ~weights:frozen ~dest))

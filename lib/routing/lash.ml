@@ -127,15 +127,15 @@ let run ?dests ?sources ~max_layers net =
      all (LASH does not balance), so they shard over the pool with
      results slotted by index — byte-identical at any job count. *)
   let trees = Array.make (Array.length dest_switches) [||] in
-  Nue_parallel.Pool.run ~n:(Array.length dest_switches) (fun i ->
-    trees.(i) <- min_hop_tree net dest_switches.(i));
+  Nue_parallel.Pool.run ~label:"lash.trees" ~n:(Array.length dest_switches)
+    (fun i -> trees.(i) <- min_hop_tree net dest_switches.(i));
   match
     assign_layers net ~trees ~dest_switches ~src_switches ~src_pos ~max_layers
   with
   | None -> None
   | Some (layer_of, layer_count) ->
     let next_channel = Array.map (fun _ -> [||]) dests in
-    Nue_parallel.Pool.run ~n:(Array.length dests) (fun di ->
+    Nue_parallel.Pool.run ~label:"lash.tables" ~n:(Array.length dests) (fun di ->
       let dest = dests.(di) in
       let dw = switch_of net dest in
       let tree = trees.(dest_pos.(dw)) in

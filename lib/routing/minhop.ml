@@ -13,7 +13,7 @@ let route ?dests ?sources net =
      load-aware channel selection stays sequential against the live
      loads — identical semantics (and bytes) to the sequential loop. *)
   let dist_fields = Array.make (Array.length dests) [||] in
-  Nue_parallel.Pool.run ~n:(Array.length dests) (fun i ->
+  Nue_parallel.Pool.run ~label:"minhop.bfs" ~n:(Array.length dests) (fun i ->
     dist_fields.(i) <- Graph_algo.bfs_distances net dests.(i));
   let next_channel =
     Array.mapi

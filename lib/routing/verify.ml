@@ -36,7 +36,7 @@ let induced_vcdg ?sources (t : Table.t) =
   let collected = Array.make nd [] in
   (match per_dest_layer with
    | Some layer_of ->
-     Nue_parallel.Pool.run_with ~n:nd
+     Nue_parallel.Pool.run_with ~label:"verify.vcdg" ~n:nd
        ~init:(fun () -> Array.make nn false)
        (fun on_path pos ->
           let dest = t.dests.(pos) in
@@ -71,7 +71,7 @@ let induced_vcdg ?sources (t : Table.t) =
           done;
           collected.(pos) <- !acc)
    | None ->
-     Nue_parallel.Pool.run ~n:nd (fun pos ->
+     Nue_parallel.Pool.run ~label:"verify.vcdg" ~n:nd (fun pos ->
        let dest = t.dests.(pos) in
        let acc = ref [] in
        Array.iter
@@ -104,7 +104,7 @@ let check ?sources (t : Table.t) =
   let nd = Array.length t.dests in
   let unreach_of = Array.make nd 0 in
   let cycle_free_of = Array.make nd true in
-  Nue_parallel.Pool.run_with ~n:nd
+  Nue_parallel.Pool.run_with ~label:"verify.check" ~n:nd
     ~init:(fun () -> (Array.make nn 0, ref 0))
     (fun (seen, clock) pos ->
        let dest = t.dests.(pos) in
@@ -159,7 +159,7 @@ let connected ?sources (t : Table.t) =
   let sources = match sources with Some s -> s | None -> default_sources t in
   let nd = Array.length t.dests in
   let ok = Array.make nd true in
-  Nue_parallel.Pool.run ~n:nd (fun pos ->
+  Nue_parallel.Pool.run ~label:"verify.connected" ~n:nd (fun pos ->
     let dest = t.dests.(pos) in
     ok.(pos) <-
       Array.for_all

@@ -127,6 +127,10 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
       (max 1 table.Table.num_vls) swaps
   in
   let flits_of_bytes b = (b + config.flit_bytes - 1) / config.flit_bytes in
+  (* The tick-stamped setup phase (packet splitting, queue and credit
+     state construction) is a span of its own, so profiling separates
+     its allocation from the cycle-stamped [sim.run] loop. *)
+  let setup_span = Span.enter "sim.setup" in
   (* Split messages into MTU packets; the initial table must route every
      pair (same contract as the static entry points). *)
   let packets = ref [] in
@@ -210,6 +214,7 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
     | Some t -> Array.make (max 1 t.max_samples) None
   in
   let ring_written = ref 0 in
+  Span.exit setup_span;
   (* Deterministic timeline for span events: while the simulator runs,
      span stamps are simulation cycles, offset so they extend the tick
      timeline monotonically. *)

@@ -20,4 +20,5 @@ let () =
          Test_reconfig.suite;
          Test_invariants.suite;
          Test_compact.suite;
-         Test_parallel.suite ])
+         Test_parallel.suite;
+         Test_profile.suite ])

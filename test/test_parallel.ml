@@ -173,6 +173,67 @@ let test_span_events_absorbed () =
   in
   Alcotest.(check bool) "all spans merged" true (List.length names >= 16)
 
+(* {1 Span merge structural invariants}
+
+   Merged multi-domain span traces are re-stamped at join, so exact
+   timestamps are schedule-dependent by design (span.mli). What *is*
+   deterministic — because round boundaries and per-round work are pure
+   functions of the seeded destination order — is the trace's
+   structure: how many events, which (name, phase) pairs how often, and
+   well-nestedness with a monotone timeline. Pin those against a
+   sequential run of the same fixture. *)
+
+let spans_at jobs built =
+  with_jobs jobs @@ fun () ->
+  let _, evs =
+    Experiment.with_spans (fun () -> Experiment.run ~vcs:4 ~engine:"nue" built)
+  in
+  evs
+
+let name_multiset evs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Span.event) ->
+       let key = (e.Span.name, e.Span.phase) in
+       Hashtbl.replace tbl key
+         (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    evs;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let check_well_nested ctx evs =
+  let stack = ref [] in
+  let last = ref min_int in
+  List.iter
+    (fun (e : Span.event) ->
+       if e.Span.ts < !last then
+         Alcotest.failf "%s: timestamps regressed at %s" ctx e.Span.name;
+       last := e.Span.ts;
+       match e.Span.phase with
+       | Span.Begin -> stack := e.Span.name :: !stack
+       | Span.End ->
+         (match !stack with
+          | top :: rest when top = e.Span.name -> stack := rest
+          | _ -> Alcotest.failf "%s: unbalanced End %s" ctx e.Span.name)
+       | Span.Instant | Span.Counter -> ())
+    evs;
+  if !stack <> [] then Alcotest.failf "%s: spans left open" ctx
+
+let test_span_merge_structure () =
+  let built = Helpers.dense_random_built () in
+  let seq = spans_at 1 built in
+  check_well_nested "jobs=1" seq;
+  List.iter
+    (fun jobs ->
+       let par = spans_at jobs built in
+       let ctx = Printf.sprintf "jobs=%d" jobs in
+       check_well_nested ctx par;
+       Alcotest.(check int) (ctx ^ ": event count")
+         (List.length seq) (List.length par);
+       if name_multiset seq <> name_multiset par then
+         Alcotest.failf "%s: span (name, phase) multiset differs from \
+                         sequential" ctx)
+    [ 2; 4 ]
+
 (* {1 Exceptions propagate out of the pool} *)
 
 let test_pool_exception () =
@@ -273,6 +334,8 @@ let suite =
           Alcotest.test_case "merge: timer totals" `Quick test_merge_timers;
           Alcotest.test_case "merge: spans absorbed" `Quick
             test_span_events_absorbed;
+          Alcotest.test_case "merge: span structure matches sequential" `Quick
+            test_span_merge_structure;
           Alcotest.test_case "pool propagates exceptions" `Quick
             test_pool_exception;
           Alcotest.test_case "stress: 6 seeded rounds" `Quick
