@@ -136,9 +136,8 @@ let diff_experiment name base cur =
        | None, None -> acc)
     no_tally changes
 
-let run ~baseline ~current =
-  let base = read_report baseline and cur = read_report current in
-  Printf.printf "bench diff: %s (baseline) vs %s\n\n" baseline current;
+let compare_reports ~base_label ~cur_label base cur =
+  Printf.printf "bench diff: %s (baseline) vs %s\n\n" base_label cur_label;
   let base_exps = experiments base and cur_exps = experiments cur in
   let total = ref no_tally in
   List.iter
@@ -165,3 +164,45 @@ let run ~baseline ~current =
     Printf.printf "coverage drift: %d added, %d removed\n" t.added t.removed;
   if t.regressions > 0 then
     Printf.printf "%d speedup regression(s) (higher is better)\n" t.regressions
+
+let run ~baseline ~current =
+  let base = read_report baseline and cur = read_report current in
+  compare_reports ~base_label:baseline ~cur_label:current base cur
+
+(* History mode: compare the latest BENCH_history.jsonl row against the
+   Nth-previous one. Rows are already flat (numeric leaves only), and
+   [flatten] is idempotent on them, so [diff_experiment] applies
+   unchanged. *)
+let run_against ~history ~n =
+  if n < 1 then begin
+    Printf.eprintf "bench diff --against: N must be >= 1\n";
+    exit 1
+  end;
+  let rows =
+    let ic = open_in history in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+         let acc = ref [] in
+         (try
+            while true do
+              let line = input_line ic in
+              if String.trim line <> "" then acc := Json.of_string line :: !acc
+            done
+          with End_of_file -> ());
+         List.rev !acc)
+  in
+  let len = List.length rows in
+  if len < n + 1 then begin
+    Printf.eprintf
+      "bench diff --against: %s has %d row(s), need at least %d to reach \
+       back %d run(s)\n"
+      history len (n + 1) n;
+    exit 1
+  end;
+  let cur = List.nth rows (len - 1) in
+  let base = List.nth rows (len - 1 - n) in
+  compare_reports
+    ~base_label:(Printf.sprintf "%s[-%d]" history n)
+    ~cur_label:(Printf.sprintf "%s[latest]" history)
+    base cur

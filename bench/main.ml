@@ -11,9 +11,9 @@
 
 let usage () =
   print_endline
-    "experiments: tab1 topo-stats trace telemetry fig1a fig1b fig9 sec51 fig10\n\
-    \             fig11 churn scale profile abl-partition abl-root abl-opt\n\
-    \             abl-weights abl-impasse bechamel\n\
+    "experiments: tab1 topo-stats trace telemetry workloads fig1a fig1b fig9\n\
+    \             sec51 fig10 fig11 churn scale profile abl-partition abl-root\n\
+    \             abl-opt abl-weights abl-impasse bechamel\n\
     \             (scale and profile route 3k-10k-switch topologies — minutes\n\
     \              of CPU — and are not part of the no-argument default set)\n\
      flags: --full (paper-scale), --sim (flit-level simulation),\n\
@@ -21,20 +21,34 @@ let usage () =
      every run writes machine-readable results to BENCH_nue.json and\n\
      appends a compact row to BENCH_history.jsonl\n\
      diff mode: main.exe -- diff BASELINE.json [CURRENT.json]\n\
-    \            (per-experiment deltas; CURRENT defaults to BENCH_nue.json)"
+    \            (per-experiment deltas; CURRENT defaults to BENCH_nue.json)\n\
+    \            main.exe -- diff --against N [HISTORY.jsonl]\n\
+    \            (latest history row vs the Nth-previous one)"
+
+let diff_errors f =
+  try f () with
+  | Sys_error msg ->
+    Printf.eprintf "bench diff: %s\n" msg;
+    exit 1
+  | Nue_pipeline.Json.Parse_error msg ->
+    Printf.eprintf "bench diff: malformed report: %s\n" msg;
+    exit 1
 
 let run_diff = function
+  | "--against" :: n :: rest ->
+    let history =
+      match rest with path :: _ -> path | [] -> Report.history_path
+    in
+    (match int_of_string_opt n with
+     | Some n -> diff_errors (fun () -> Diff.run_against ~history ~n)
+     | None ->
+       Printf.eprintf "bench diff --against: bad count %S\n" n;
+       exit 1)
   | baseline :: rest ->
     let current =
       match rest with path :: _ -> path | [] -> Report.path
     in
-    (try Diff.run ~baseline ~current with
-     | Sys_error msg ->
-       Printf.eprintf "bench diff: %s\n" msg;
-       exit 1
-     | Nue_pipeline.Json.Parse_error msg ->
-       Printf.eprintf "bench diff: malformed report: %s\n" msg;
-       exit 1)
+    diff_errors (fun () -> Diff.run ~baseline ~current)
   | [] ->
     Printf.eprintf "bench diff: missing BASELINE argument\n";
     exit 1
@@ -63,9 +77,9 @@ let () =
       args
   in
   let wanted = if wanted = [] then
-      [ "tab1"; "trace"; "telemetry"; "fig1a"; "fig9"; "fig10"; "fig11";
-        "churn"; "abl-partition"; "abl-root"; "abl-opt"; "abl-weights";
-        "abl-impasse" ]
+      [ "tab1"; "trace"; "telemetry"; "workloads"; "fig1a"; "fig9"; "fig10";
+        "fig11"; "churn"; "abl-partition"; "abl-root"; "abl-opt";
+        "abl-weights"; "abl-impasse" ]
     else wanted
   in
   let has x = List.mem x wanted in
@@ -76,6 +90,7 @@ let () =
     if has "tab1" then Tab1.run ();
     if has "trace" then Trace_bench.run ~full ();
     if has "telemetry" then Telemetry_bench.run ~full ();
+    if has "workloads" then Workloads_bench.run ~full ();
     if has "topo-stats" then Topostats.run ();
     if has "fig1a" || has "fig1b" || has "fig1" then
       (* fig1a and fig1b come from the same runs. *)

@@ -1,0 +1,128 @@
+(* WORKLOADS: saturation sweeps per (topology, engine, workload) —
+   offered-vs-accepted load curves with the detected knee, latency
+   percentiles at the highest load, and the congestion attribution's
+   hotspot count. This is the "engines under load" section BENCH_nue.json
+   gained in the traffic-observability pass: tab1/telemetry compare
+   engines under uniform shift traffic only, this section compares them
+   where they actually differ — at and past saturation, under
+   adversarial and many-to-one patterns.
+
+   Engines are pinned (nue + dfsssp) rather than the full registry:
+   sweeps simulate each load point, and partial or mismatched tables
+   would only add skip noise. *)
+
+module Experiment = Nue_pipeline.Experiment
+module Json = Nue_pipeline.Json
+module Sim = Nue_sim.Sim
+module Traffic = Nue_sim.Traffic
+module Congestion = Nue_sim.Congestion
+
+let engines = [ "nue"; "dfsssp" ]
+
+let setups ~full =
+  if full then
+    [ ("torus-4x4x4",
+       Experiment.setup ~seed:3
+         (Experiment.Torus3d { dims = (4, 4, 4); terminals = 2; redundancy = 1 })) ]
+  else
+    [ ("torus-3x3x2",
+       Experiment.setup ~seed:3
+         (Experiment.Torus3d { dims = (3, 3, 2); terminals = 1; redundancy = 1 })) ]
+
+let workloads ~full =
+  let base =
+    [ Traffic.Incast { victims = 1; messages_per_source = 4 };
+      Traffic.Adversarial { groups = 4 };
+      Traffic.Uniform { messages_per_terminal = 4 } ]
+  in
+  if full then
+    base
+    @ [ Traffic.Hotspot { hot_fraction = 0.5; messages_per_terminal = 4 };
+        Traffic.Bursty
+          { messages_per_terminal = 4; on_fraction = 0.25; burst_length = 4 } ]
+  else base
+
+let loads ~full =
+  if full then Experiment.default_sweep_loads else [ 0.25; 0.5; 1.0 ]
+
+let run ?(full = false) () =
+  Common.section
+    "WORKLOADS: saturation sweeps under the traffic zoo (BENCH_nue.json)";
+  Common.print_header
+    [ (14, "Topology"); (9, "Engine"); (12, "Workload"); (10, "Knee");
+      (10, "Accepted"); (8, "p99"); (9, "Hotspots") ];
+  let rows = ref [] in
+  List.iter
+    (fun (topo_name, setup) ->
+       let built = Experiment.build setup in
+       List.iter
+         (fun engine ->
+            List.iter
+              (fun workload ->
+                 match
+                   Experiment.sweep ~vcs:4 ~loads:(loads ~full)
+                     ~message_bytes:256 ~workload ~engine built
+                 with
+                 | Error e ->
+                   Printf.printf "%s%s(%s)\n"
+                     (Common.cell 14 topo_name)
+                     (Common.cell 9 engine)
+                     (Nue_routing.Engine_error.to_string e)
+                 | Ok s ->
+                   let last =
+                     List.nth s.Experiment.points
+                       (List.length s.Experiment.points - 1)
+                   in
+                   let knee_cell, knee_json =
+                     match s.Experiment.sweep_knee with
+                     | None -> ("none", [])
+                     | Some k ->
+                       (Printf.sprintf "%.2f" k.Experiment.knee_load,
+                        [ ("knee_offered", Json.Float k.Experiment.knee_load) ])
+                   in
+                   Printf.printf "%s%s%s%s%s%s%s\n"
+                     (Common.cell 14 topo_name)
+                     (Common.cell 9 engine)
+                     (Common.cell 12 s.Experiment.sweep_workload)
+                     (Common.cell 10 knee_cell)
+                     (Common.cell 10
+                        (Printf.sprintf "%.4f" last.Experiment.accepted_load))
+                     (Common.cell 8
+                        (Printf.sprintf "%.0f"
+                           last.Experiment.point_sim.Sim.latency_p99))
+                     (Common.cell 9
+                        (string_of_int
+                           (List.length
+                              s.Experiment.congestion.Congestion.hotspots)));
+                   rows :=
+                     Json.Obj
+                       ([ ("topology", Json.Str topo_name);
+                          ("engine", Json.Str engine);
+                          ("workload", Json.Str s.Experiment.sweep_workload) ]
+                        @ knee_json
+                        @ [ ("accepted_at_max", Json.Float last.Experiment.accepted_load);
+                            ("latency_p50_at_max",
+                             Json.Float last.Experiment.point_sim.Sim.latency_p50);
+                            ("latency_p95_at_max",
+                             Json.Float last.Experiment.point_sim.Sim.latency_p95);
+                            ("latency_p99_at_max",
+                             Json.Float last.Experiment.point_sim.Sim.latency_p99);
+                            ("dropped_at_max",
+                             Json.Int last.Experiment.point_sim.Sim.dropped_packets);
+                            ("hotspots",
+                             Json.Int
+                               (List.length
+                                  s.Experiment.congestion.Congestion.hotspots));
+                            ("hotspot_flows",
+                             Json.Int
+                               (List.fold_left
+                                  (fun acc (h : Congestion.hotspot) ->
+                                     acc + List.length h.Congestion.flows)
+                                  0 s.Experiment.congestion.Congestion.hotspots));
+                            ("points",
+                             Json.Int (List.length s.Experiment.points)) ])
+                     :: !rows)
+              (workloads ~full))
+         engines)
+    (setups ~full);
+  Report.add "workloads" (Json.List (List.rev !rows))

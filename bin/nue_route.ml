@@ -10,6 +10,7 @@
    Subcommands:
      route    generate a topology, route it, verify, print statistics
      sim      additionally run a flit-level all-to-all simulation
+     sweep    ramp offered load over a workload; saturation curve + hotspots
      dump     print the linear forwarding table of one switch
      export   write network/DOT/LFT files
      compare  run every registered engine side by side
@@ -30,6 +31,7 @@ module Table = Nue_routing.Table
 module Experiment = Nue_pipeline.Experiment
 module Json = Nue_pipeline.Json
 module Sim = Nue_sim.Sim
+module Traffic = Nue_sim.Traffic
 module Obs = Nue_obs.Obs
 module Provenance = Nue_core.Provenance
 module Verify = Nue_routing.Verify
@@ -380,6 +382,155 @@ let sim_cmd =
   Cmd.v (Cmd.info "sim" ~doc:"Route and run a flit-level all-to-all simulation")
     Term.(const run $ build_t $ algorithm_t $ vcs_t $ bytes_t $ trace_t
           $ telemetry_t $ format_t)
+
+let sweep_cmd =
+  let run built algorithm vcs jobs workload loads message_bytes top_k
+      heat_dot record replay format =
+    set_jobs jobs;
+    let spec =
+      if replay <> "" then begin
+        let contents =
+          let ic = open_in replay in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+               really_input_string ic (in_channel_length ic))
+        in
+        match Traffic.trace_of_string contents with
+        | Ok msgs -> Traffic.Trace msgs
+        | Error e ->
+          Printf.eprintf "bad trace %s: %s\n" replay e;
+          exit 1
+      end
+      else
+        match Traffic.spec_of_string workload with
+        | Ok s -> s
+        | Error e ->
+          Printf.eprintf "%s\n" e;
+          exit 1
+    in
+    let loads =
+      match loads with [] -> Experiment.default_sweep_loads | l -> l
+    in
+    match
+      try
+        Experiment.sweep ~vcs ~loads ~message_bytes ~workload:spec ~top_k
+          ~engine:algorithm built
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    with
+    | Error e ->
+      Printf.eprintf "routing failed: %s\n" (Engine_error.to_string e);
+      exit 1
+    | Ok s ->
+      if record <> "" then begin
+        (* The same derivation sweep used internally (stream seed + 2),
+           so the recorded trace replays to an identical flow set. *)
+        let traffic =
+          Traffic.generate
+            (Nue_structures.Prng.create (built.Experiment.seed + 2))
+            spec built.Experiment.net ~message_bytes
+        in
+        let oc = open_out record in
+        output_string oc (Traffic.trace_to_string traffic);
+        close_out oc
+      end;
+      if heat_dot <> "" then begin
+        let oc = open_out heat_dot in
+        output_string oc
+          (Nue_netgraph.Serialize.to_dot ~heat:s.Experiment.heat
+             built.Experiment.net);
+        close_out oc
+      end;
+      (match format with
+       | `Json ->
+         print_endline
+           (Json.to_string_pretty
+              (Json.Obj
+                 [ ("network",
+                    Experiment.network_to_json built.Experiment.net);
+                   ("sweep", Experiment.sweep_to_json s) ]))
+       | _ ->
+         Printf.printf "sweep: workload=%s engine=%s message_bytes=%d\n"
+           s.Experiment.sweep_workload s.Experiment.sweep_engine
+           s.Experiment.sweep_message_bytes;
+         Printf.printf
+           "  offered  accepted      p50      p95      p99  dropped  deadlock\n";
+         List.iter
+           (fun (p : Experiment.sweep_point) ->
+              Printf.printf "  %7.3f  %8.4f  %7.0f  %7.0f  %7.0f  %7d  %b\n"
+                p.Experiment.offered_load p.Experiment.accepted_load
+                p.Experiment.point_sim.Sim.latency_p50
+                p.Experiment.point_sim.Sim.latency_p95
+                p.Experiment.point_sim.Sim.latency_p99
+                p.Experiment.point_sim.Sim.dropped_packets
+                p.Experiment.point_sim.Sim.deadlock)
+           s.Experiment.points;
+         (match s.Experiment.sweep_knee with
+          | None -> Printf.printf "knee: none detected\n"
+          | Some k ->
+            Printf.printf "knee: offered %.3f (%s)\n"
+              k.Experiment.knee_load k.Experiment.knee_reason);
+         print_string
+           (Nue_sim.Congestion.render s.Experiment.congestion);
+         if record <> "" then Printf.printf "recorded trace: %s\n" record;
+         if heat_dot <> "" then Printf.printf "heat overlay: %s\n" heat_dot);
+      if
+        List.exists
+          (fun (p : Experiment.sweep_point) ->
+             p.Experiment.point_sim.Sim.deadlock)
+          s.Experiment.points
+      then exit 3;
+      exit 0
+  in
+  let workload_t =
+    Arg.(value & opt string "uniform"
+         & info [ "workload" ] ~docv:"SPEC"
+             ~doc:"Workload generator, optionally parameterized as \
+                   $(b,name:param): shift, uniform[:msgs], bursty[:msgs], \
+                   hotspot[:frac], incast[:victims], adversarial[:groups], \
+                   tornado, transpose, bitcomp, bitrev, permutation.")
+  in
+  let loads_t =
+    Arg.(value & opt (list float) []
+         & info [ "loads" ] ~docv:"L1,L2,..."
+             ~doc:"Offered loads (injection rates) to sweep, strictly \
+                   ascending in (0, 1]. Default 0.2,0.4,0.6,0.8,1.0.")
+  in
+  let bytes_t =
+    Arg.(value & opt int 256
+         & info [ "message-bytes" ] ~docv:"B" ~doc:"Message size.")
+  in
+  let top_k_t =
+    Arg.(value & opt int 5
+         & info [ "top-k" ] ~docv:"K"
+             ~doc:"Congested (channel, VL) units to attribute.")
+  in
+  let heat_dot_t =
+    Arg.(value & opt string ""
+         & info [ "heat-dot" ] ~docv:"PATH"
+             ~doc:"Write a graphviz heat overlay of link utilization at the \
+                   highest load point.")
+  in
+  let record_t =
+    Arg.(value & opt string ""
+         & info [ "record" ] ~docv:"PATH"
+             ~doc:"Write the generated traffic as a replayable text trace.")
+  in
+  let replay_t =
+    Arg.(value & opt string ""
+         & info [ "replay" ] ~docv:"PATH"
+             ~doc:"Replay a recorded traffic trace instead of generating a \
+                   workload (overrides --workload).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Ramp offered load over a workload and report the saturation \
+             curve, knee and congestion hotspots")
+    Term.(const run $ build_t $ algorithm_t $ vcs_t $ jobs_t $ workload_t
+          $ loads_t $ bytes_t $ top_k_t $ heat_dot_t $ record_t $ replay_t
+          $ format_t)
 
 let dump_cmd =
   let run built algorithm vcs switch =
@@ -964,5 +1115,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ route_cmd; sim_cmd; dump_cmd; export_cmd; compare_cmd;
+          [ route_cmd; sim_cmd; sweep_cmd; dump_cmd; export_cmd; compare_cmd;
             explain_cmd; inspect_cmd; churn_cmd; profile_cmd ]))

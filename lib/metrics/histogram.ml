@@ -69,6 +69,9 @@ let of_samples ?bins samples =
     List.iter (add t) samples;
     t
 
+let of_int_samples ?bins samples =
+  of_samples ?bins (List.map float_of_int samples)
+
 let render ?(width = 40) t =
   let bins = Array.length t.counts in
   let bucket_width = (t.hi -. t.lo) /. float_of_int bins in

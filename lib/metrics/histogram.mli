@@ -28,6 +28,10 @@ val percentile : t -> float -> float
 val of_samples : ?bins:int -> float list -> t
 (** Bounds taken from the sample range. *)
 
+val of_int_samples : ?bins:int -> int list -> t
+(** {!of_samples} over integer samples (occupancy counts, queue
+    depths). *)
+
 val render : ?width:int -> t -> string
 (** Multi-line bar rendering: one line per bin with its range, count and
     a proportional bar. *)

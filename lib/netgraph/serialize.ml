@@ -82,8 +82,20 @@ let read_file path =
   |> of_string
 
 let to_dot ?(channel_labels = false) ?(failed_switches = [])
-    ?(failed_links = []) net =
+    ?(failed_links = []) ?heat net =
   let nn = Network.num_nodes net in
+  (match heat with
+   | Some h when Array.length h <> Array.length (Network.duplex_pairs net) ->
+     invalid_arg "Serialize.to_dot: heat length must equal duplex pair count"
+   | _ -> ());
+  (* Gray-to-red gradient; heat is clamped into [0, 1]. *)
+  let heat_attrs h =
+    let h = Float.max 0.0 (Float.min 1.0 h) in
+    let lerp a b = int_of_float (float_of_int a +. (float_of_int (b - a) *. h)) in
+    Printf.sprintf " color=\"#%02x%02x%02x\", penwidth=%.2f"
+      (lerp 0xe0 0xd7) (lerp 0xe0 0x30) (lerp 0xe0 0x27)
+      (1.0 +. (3.0 *. h))
+  in
   let dead = Array.make nn false in
   List.iter
     (fun s ->
@@ -137,8 +149,13 @@ let to_dot ?(channel_labels = false) ?(failed_switches = [])
        let attrs =
          if cut_here || dead.(u) || dead.(v) then
            Printf.sprintf " [color=red, style=dashed%s]" label
-         else if channel_labels then Printf.sprintf " [label=\"c%d\"]" (2 * l)
-         else ""
+         else
+           match heat with
+           | Some h ->
+             Printf.sprintf " [%s%s]" (String.trim (heat_attrs h.(l))) label
+           | None ->
+             if channel_labels then Printf.sprintf " [label=\"c%d\"]" (2 * l)
+             else ""
        in
        Buffer.add_string buf (Printf.sprintf "  n%d -- n%d%s;\n" u v attrs))
     (Network.duplex_pairs net);

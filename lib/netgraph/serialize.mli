@@ -28,6 +28,7 @@ val to_dot :
   ?channel_labels:bool ->
   ?failed_switches:int list ->
   ?failed_links:(int * int) list ->
+  ?heat:float array ->
   Network.t ->
   string
 (** Graphviz rendering: switches as boxes, terminals as points, one
@@ -37,8 +38,12 @@ val to_dot :
     fades each listed [failed_links] pair (one parallel copy per listing)
     plus every link incident to a failed switch dashed red — pass
     {!Fault.removed}'s output to visualize a degraded run on the intact
-    topology.
-    @raise Invalid_argument if a failed switch id is out of range. *)
+    topology. [heat] colors each duplex link on a gray-to-red gradient
+    with proportional pen width: one value per {!Network.duplex_pairs}
+    entry, clamped into [0, 1] (faulted edges keep the fault style) —
+    pass {!Nue_sim.Congestion}'s link heat to visualize congestion.
+    @raise Invalid_argument if a failed switch id is out of range or
+    [heat] has the wrong length. *)
 
 val of_ibnetdiscover : string -> Network.t
 (** Parse a (simplified) ibnetdiscover dump — the format the paper's

@@ -11,6 +11,7 @@ module Ps = Nue_metrics.Pathstats
 module Tm = Nue_metrics.Throughput_model
 module Sim = Nue_sim.Sim
 module Traffic = Nue_sim.Traffic
+module Congestion = Nue_sim.Congestion
 module Prng = Nue_structures.Prng
 module Obs = Nue_obs.Obs
 module Span = Nue_obs.Span
@@ -336,6 +337,7 @@ let sim_to_json (o : Sim.outcome) =
     [ ("delivered_packets", Json.Int o.Sim.delivered_packets);
       ("total_packets", Json.Int o.Sim.total_packets);
       ("delivered_bytes", Json.Int o.Sim.delivered_bytes);
+      ("dropped_packets", Json.Int o.Sim.dropped_packets);
       ("cycles", Json.Int o.Sim.cycles);
       ("deadlock", Json.Bool o.Sim.deadlock);
       ("aggregate_gbs", Json.Float o.Sim.aggregate_gbs);
@@ -390,6 +392,198 @@ let telemetry_to_json (t : Sim.telemetry) =
             (fun (c, vl) ->
                Json.Obj [ ("channel", Json.Int c); ("vl", Json.Int vl) ])
             t.Sim.deadlock_wait_cycle)) ]
+
+(* {1 Saturation sweeps} *)
+
+type sweep_point = {
+  offered_load : float;
+  accepted_load : float;
+  point_sim : Sim.outcome;
+  point_telemetry : Sim.telemetry;
+}
+
+type knee = {
+  knee_load : float;
+  knee_reason : string;
+}
+
+type sweep = {
+  sweep_workload : string;
+  sweep_engine : string;
+  sweep_message_bytes : int;
+  points : sweep_point list;
+  sweep_knee : knee option;
+  congestion : Congestion.report;
+  heat : float array;
+}
+
+let default_sweep_loads = [ 0.2; 0.4; 0.6; 0.8; 1.0 ]
+
+let default_sweep_telemetry =
+  { Sim.sample_every = 16; max_samples = 512; latency_bins = 32 }
+
+(* The knee is the first load point where accepted throughput stops
+   tracking offered load (marginal slope below half the initial slope),
+   latency blows past 3x its lowest-load p99, or the fabric deadlocks —
+   whichever fires first walking up the curve. *)
+let detect_knee points =
+  match points with
+  | [] | [ _ ] -> None
+  | p0 :: _ ->
+    let slope0 = p0.accepted_load /. p0.offered_load in
+    let p99_0 = p0.point_sim.Sim.latency_p99 in
+    let rec walk prev = function
+      | [] -> None
+      | p :: rest ->
+        if p.point_sim.Sim.deadlock then
+          Some { knee_load = p.offered_load; knee_reason = "deadlock" }
+        else begin
+          let slope =
+            (p.accepted_load -. prev.accepted_load)
+            /. (p.offered_load -. prev.offered_load)
+          in
+          if slope < 0.5 *. slope0 then
+            Some
+              { knee_load = p.offered_load;
+                knee_reason = "throughput_plateau" }
+          else if p99_0 > 0.0 && p.point_sim.Sim.latency_p99 > 3.0 *. p99_0
+          then
+            Some { knee_load = p.offered_load; knee_reason = "latency_blowup" }
+          else walk p rest
+        end
+    in
+    walk p0 (List.tl points)
+
+let sweep ?vcs ?jobs ?(config = Sim.default_config)
+    ?(telemetry = default_sweep_telemetry) ?(loads = default_sweep_loads)
+    ?(message_bytes = 256) ?(workload = Traffic.Uniform { messages_per_terminal = 4 })
+    ?top_k ~engine b =
+  if loads = [] then invalid_arg "Experiment.sweep: loads must be non-empty";
+  List.iter
+    (fun l ->
+       if not (l > 0.0 && l <= 1.0) then
+         invalid_arg "Experiment.sweep: loads must be in (0, 1]")
+    loads;
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+      if not (a < b) then
+        invalid_arg "Experiment.sweep: loads must be strictly ascending"
+      else ascending rest
+    | _ -> ()
+  in
+  ascending loads;
+  let outcome = run ?vcs ?jobs ~engine b in
+  match outcome.table with
+  | Error e -> Error e
+  | Ok table ->
+    (* Traffic draws from stream [seed + 2], extending the pipeline's
+       one-PRNG derivation (topology: seed, faults: seed + 1). *)
+    let traffic =
+      Traffic.generate
+        (Prng.create (b.seed + 2))
+        workload table.Table.net ~message_bytes
+    in
+    let nterm = max 1 (Network.num_terminals table.Table.net) in
+    Span.with_ "pipeline.sweep"
+      ~args:
+        [ ("engine", Span.Str engine);
+          ("workload", Span.Str (Traffic.spec_name workload));
+          ("points", Span.Int (List.length loads)) ]
+    @@ fun () ->
+    let points =
+      List.map
+        (fun load ->
+           let o, t =
+             Sim.run_with_telemetry
+               ~config:{ config with Sim.injection_rate = load }
+               ~telemetry table ~traffic
+           in
+           let accepted_load =
+             float_of_int o.Sim.delivered_bytes
+             /. float_of_int config.Sim.flit_bytes
+             /. float_of_int o.Sim.cycles /. float_of_int nterm
+           in
+           { offered_load = load; accepted_load; point_sim = o;
+             point_telemetry = t })
+        loads
+    in
+    (* Congestion is attributed at the highest load point, where the
+       hotspots are sharpest. *)
+    let last = List.nth points (List.length points - 1) in
+    let congestion =
+      Congestion.attribute ?top_k ~traffic table last.point_telemetry
+    in
+    Ok
+      { sweep_workload = Traffic.spec_name workload;
+        sweep_engine = engine;
+        sweep_message_bytes = message_bytes;
+        points;
+        sweep_knee = detect_knee points;
+        congestion;
+        heat = Congestion.link_heat last.point_telemetry table.Table.net }
+
+let congestion_to_json (r : Congestion.report) =
+  let flow_json (s, d) =
+    Json.Obj [ ("src", Json.Int s); ("dst", Json.Int d) ]
+  in
+  let hotspot_json (h : Congestion.hotspot) =
+    Json.Obj
+      [ ("channel", Json.Int h.Congestion.stat.Congestion.channel);
+        ("vl", Json.Int h.Congestion.stat.Congestion.vl);
+        ("mean_occupancy",
+         Json.Float h.Congestion.stat.Congestion.mean_occupancy);
+        ("peak_occupancy",
+         Json.Int h.Congestion.stat.Congestion.peak_occupancy);
+        ("utilization", Json.Float h.Congestion.stat.Congestion.utilization);
+        ("flows", Json.List (List.map flow_json h.Congestion.flows)) ]
+  in
+  let window_json (w : Congestion.window) =
+    Json.Obj
+      [ ("from_cycle", Json.Int w.Congestion.from_cycle);
+        ("to_cycle", Json.Int w.Congestion.to_cycle);
+        ("mean_buffered", Json.Float w.Congestion.mean_buffered);
+        ("peak_link_occupancy", Json.Int w.Congestion.peak_link_occupancy);
+        ("occupancy_p95",
+         Json.Float
+           (let h = w.Congestion.occupancy in
+            if Nue_metrics.Histogram.count h = 0 then 0.0
+            else Nue_metrics.Histogram.percentile h 0.95)) ]
+  in
+  Json.Obj
+    [ ("total_flows", Json.Int r.Congestion.total_flows);
+      ("hotspots", Json.List (List.map hotspot_json r.Congestion.hotspots));
+      ("windows", Json.List (List.map window_json r.Congestion.windows)) ]
+
+(* Sweep JSON carries no wall-clock values, so two same-seed runs render
+   byte-identically (the acceptance bar for the sweep harness). *)
+let sweep_to_json s =
+  let point_json p =
+    Json.Obj
+      [ ("offered_load", Json.Float p.offered_load);
+        ("accepted_load", Json.Float p.accepted_load);
+        ("delivered_packets", Json.Int p.point_sim.Sim.delivered_packets);
+        ("dropped_packets", Json.Int p.point_sim.Sim.dropped_packets);
+        ("cycles", Json.Int p.point_sim.Sim.cycles);
+        ("deadlock", Json.Bool p.point_sim.Sim.deadlock);
+        ("latency_p50", Json.Float p.point_sim.Sim.latency_p50);
+        ("latency_p95", Json.Float p.point_sim.Sim.latency_p95);
+        ("latency_p99", Json.Float p.point_sim.Sim.latency_p99);
+        ("avg_packet_latency",
+         Json.Float p.point_sim.Sim.avg_packet_latency) ]
+  in
+  Json.Obj
+    [ ("workload", Json.Str s.sweep_workload);
+      ("engine", Json.Str s.sweep_engine);
+      ("message_bytes", Json.Int s.sweep_message_bytes);
+      ("points", Json.List (List.map point_json s.points));
+      ("knee",
+       (match s.sweep_knee with
+        | None -> Json.Null
+        | Some k ->
+          Json.Obj
+            [ ("offered_load", Json.Float k.knee_load);
+              ("reason", Json.Str k.knee_reason) ]));
+      ("congestion", congestion_to_json s.congestion) ]
 
 (* {1 Provenance} *)
 

@@ -151,6 +151,64 @@ val simulate_with_telemetry :
     and per-VL occupancy time series, link utilization, latency
     histogram, and deadlock attribution. *)
 
+(** {1 Saturation sweeps} *)
+
+type sweep_point = {
+  offered_load : float;    (** injection rate this point ran at *)
+  accepted_load : float;   (** delivered flits per cycle per terminal *)
+  point_sim : Nue_sim.Sim.outcome;
+  point_telemetry : Nue_sim.Sim.telemetry;
+}
+
+type knee = {
+  knee_load : float;       (** first offered load past saturation *)
+  knee_reason : string;
+      (** ["throughput_plateau"], ["latency_blowup"] or ["deadlock"] *)
+}
+
+type sweep = {
+  sweep_workload : string;
+  sweep_engine : string;
+  sweep_message_bytes : int;
+  points : sweep_point list;      (** one per load, ascending *)
+  sweep_knee : knee option;       (** [None] when the curve never bends *)
+  congestion : Nue_sim.Congestion.report;
+      (** attributed at the highest load point *)
+  heat : float array;             (** per-duplex-pair heat at the highest
+                                      load, for {!Nue_netgraph.Serialize.to_dot} *)
+}
+
+val default_sweep_loads : float list
+(** [0.2; 0.4; 0.6; 0.8; 1.0]. *)
+
+val default_sweep_telemetry : Nue_sim.Sim.telemetry_config
+(** Denser than the simulator default (sample every 16 cycles, 512
+    samples) so congestion windows resolve short runs. *)
+
+val sweep :
+  ?vcs:int ->
+  ?jobs:int ->
+  ?config:Nue_sim.Sim.config ->
+  ?telemetry:Nue_sim.Sim.telemetry_config ->
+  ?loads:float list ->
+  ?message_bytes:int ->
+  ?workload:Nue_sim.Traffic.spec ->
+  ?top_k:int ->
+  engine:string ->
+  built ->
+  (sweep, Nue_routing.Engine_error.t) result
+(** Route with the named engine, generate the workload from PRNG stream
+    [seed + 2] (extending {!build}'s derivation: topology [seed], faults
+    [seed + 1]), then simulate it at each offered load by scaling the
+    simulator's injection rate, with telemetry attached. Returns the
+    saturation curve, the detected {!knee}, and the congestion
+    attribution at the highest load. Deterministic: two sweeps from the
+    same setup render byte-identical {!sweep_to_json}. [message_bytes]
+    defaults to 256, [workload] to [Uniform], [loads] to
+    {!default_sweep_loads}.
+    @raise Invalid_argument if [loads] is empty, not strictly ascending,
+    or has a value outside (0, 1]. *)
+
 (** {1 JSON rendering (for [--format json] and scripting)} *)
 
 val verify_to_json : Nue_routing.Verify.report -> Json.t
@@ -164,6 +222,15 @@ val outcome_to_json : outcome -> Json.t
     path/VL/throughput metrics. *)
 
 val sim_to_json : Nue_sim.Sim.outcome -> Json.t
+
+val congestion_to_json : Nue_sim.Congestion.report -> Json.t
+(** Hotspot list (channel, VL, mean/peak occupancy, utilization and the
+    crossing flows) plus the windowed occupancy series. *)
+
+val sweep_to_json : sweep -> Json.t
+(** Workload, engine, the per-point curve (offered vs accepted load and
+    latency percentiles), the knee and the congestion report. Contains
+    no wall-clock values, so same-seed sweeps render byte-identically. *)
 
 val telemetry_to_json : Nue_sim.Sim.telemetry -> Json.t
 (** Sampling cadence and occupancy series (compact: total buffered

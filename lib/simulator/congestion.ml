@@ -1,0 +1,186 @@
+module Network = Nue_netgraph.Network
+module Table = Nue_routing.Table
+module Histogram = Nue_metrics.Histogram
+
+type unit_stat = {
+  channel : int;
+  vl : int;
+  mean_occupancy : float;
+  peak_occupancy : int;
+  utilization : float;
+}
+
+type hotspot = {
+  stat : unit_stat;
+  flows : (int * int) list;
+}
+
+type window = {
+  from_cycle : int;
+  to_cycle : int;
+  occupancy : Histogram.t;
+  mean_buffered : float;
+  peak_link_occupancy : int;
+}
+
+type report = {
+  hotspots : hotspot list;
+  windows : window list;
+  total_flows : int;
+}
+
+(* Distinct routed (src, dst) pairs of a traffic list, in first-seen
+   order — the join key set for attribution. *)
+let flows_of_traffic traffic =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun { Traffic.src; dst; _ } ->
+       if src = dst || Hashtbl.mem seen (src, dst) then None
+       else begin
+         Hashtbl.add seen (src, dst) ();
+         Some (src, dst)
+       end)
+    traffic
+
+let attribute ?(top_k = 5) ?(windows = 4) ~traffic table
+    (t : Sim.telemetry) =
+  if top_k < 1 then invalid_arg "Congestion.attribute: top_k >= 1";
+  if windows < 1 then invalid_arg "Congestion.attribute: windows >= 1";
+  let vls = t.Sim.vls in
+  let n_units = Array.length t.Sim.unit_occupancy_sum in
+  let samples = max 1 t.Sim.occupancy_samples in
+  (* Rank (channel, VL) units by mean sampled occupancy; peak breaks
+     ties, then channel/vl order keeps the ranking deterministic. *)
+  let stats = ref [] in
+  for u = 0 to n_units - 1 do
+    if t.Sim.unit_occupancy_sum.(u) > 0 then begin
+      let channel = u / vls and vl = u mod vls in
+      stats :=
+        { channel;
+          vl;
+          mean_occupancy =
+            float_of_int t.Sim.unit_occupancy_sum.(u)
+            /. float_of_int samples;
+          peak_occupancy = t.Sim.unit_occupancy_peak.(u);
+          utilization = t.Sim.link_utilization.(channel) }
+        :: !stats
+    end
+  done;
+  let ranked =
+    List.sort
+      (fun a b ->
+         match compare b.mean_occupancy a.mean_occupancy with
+         | 0 ->
+           (match compare b.peak_occupancy a.peak_occupancy with
+            | 0 -> compare (a.channel, a.vl) (b.channel, b.vl)
+            | c -> c)
+         | c -> c)
+      !stats
+  in
+  let top =
+    List.filteri (fun i _ -> i < top_k) ranked
+  in
+  (* Join against the routing table: which flows cross each hot unit. *)
+  let flows = flows_of_traffic traffic in
+  let crossing = Hashtbl.create 64 in
+  List.iter
+    (fun (src, dst) ->
+       match Table.path_with_vls table ~src ~dest:dst with
+       | None -> ()
+       | Some hops ->
+         List.iter
+           (fun (c, vl) ->
+              Hashtbl.replace crossing ((c * vls) + vl)
+                ((src, dst)
+                 :: Option.value ~default:[]
+                      (Hashtbl.find_opt crossing ((c * vls) + vl))))
+           hops)
+    flows;
+  let hotspots =
+    List.map
+      (fun stat ->
+         let u = (stat.channel * vls) + stat.vl in
+         { stat;
+           flows =
+             List.rev (Option.value ~default:[] (Hashtbl.find_opt crossing u))
+         })
+      top
+  in
+  (* Windowed occupancy: chop the retained samples chronologically and
+     histogram the per-link occupancies inside each chunk. *)
+  let ns = Array.length t.Sim.samples in
+  let nwin = min windows (max 1 ns) in
+  let windows =
+    if ns = 0 then []
+    else
+      List.init nwin (fun w ->
+          let lo = w * ns / nwin and hi = ((w + 1) * ns / nwin) - 1 in
+          let occ = ref [] in
+          let buffered = ref 0 in
+          let peak = ref 0 in
+          for i = lo to hi do
+            let s = t.Sim.samples.(i) in
+            Array.iter
+              (fun q ->
+                 occ := q :: !occ;
+                 buffered := !buffered + q;
+                 if q > !peak then peak := q)
+              s.Sim.link_occupancy
+          done;
+          { from_cycle = t.Sim.samples.(lo).Sim.at_cycle;
+            to_cycle = t.Sim.samples.(hi).Sim.at_cycle;
+            occupancy = Histogram.of_int_samples ~bins:8 (List.rev !occ);
+            mean_buffered =
+              float_of_int !buffered /. float_of_int (hi - lo + 1);
+            peak_link_occupancy = !peak })
+  in
+  { hotspots; windows; total_flows = List.length flows }
+
+let link_heat (t : Sim.telemetry) net =
+  let pairs = Network.duplex_pairs net in
+  Array.init (Array.length pairs) (fun l ->
+      let u =
+        if 2 * l < Array.length t.Sim.link_utilization then
+          t.Sim.link_utilization.(2 * l)
+        else 0.0
+      and v =
+        if (2 * l) + 1 < Array.length t.Sim.link_utilization then
+          t.Sim.link_utilization.((2 * l) + 1)
+        else 0.0
+      in
+      Float.max u v)
+
+let heat_dot table (t : Sim.telemetry) =
+  let net = table.Table.net in
+  Nue_netgraph.Serialize.to_dot ~heat:(link_heat t net) net
+
+let render r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "congestion: %d flow(s), top %d hot (channel, VL) unit(s)\n"
+       r.total_flows (List.length r.hotspots));
+  List.iter
+    (fun { stat; flows } ->
+       Buffer.add_string buf
+         (Printf.sprintf
+            "  c%d/vl%d  mean occ %.2f  peak %d  util %.2f  %d flow(s)%s\n"
+            stat.channel stat.vl stat.mean_occupancy stat.peak_occupancy
+            stat.utilization (List.length flows)
+            (match flows with
+             | [] -> ""
+             | _ ->
+               "  "
+               ^ String.concat " "
+                   (List.map
+                      (fun (s, d) -> Printf.sprintf "%d->%d" s d)
+                      flows)))
+    )
+    r.hotspots;
+  List.iter
+    (fun w ->
+       Buffer.add_string buf
+         (Printf.sprintf
+            "  window [%d, %d]  mean buffered %.1f  peak link occ %d\n"
+            w.from_cycle w.to_cycle w.mean_buffered w.peak_link_occupancy))
+    r.windows;
+  Buffer.contents buf

@@ -1,0 +1,65 @@
+(** Congestion attribution over simulator telemetry.
+
+    Turns {!Sim.telemetry} occupancy accumulators into a hotspot
+    report: the top-k most congested (channel, VL) units ranked by mean
+    sampled occupancy, each joined against the routing table to name
+    the (src, dst) flows crossing it, plus a windowed time series of
+    per-link occupancy histograms. The per-link utilization doubles as
+    a heat overlay for {!Nue_netgraph.Serialize.to_dot}. *)
+
+type unit_stat = {
+  channel : int;
+  vl : int;
+  mean_occupancy : float;  (** mean sampled buffered flits in this unit *)
+  peak_occupancy : int;    (** largest sampled occupancy *)
+  utilization : float;     (** the channel's flit transmits / cycles *)
+}
+
+type hotspot = {
+  stat : unit_stat;
+  flows : (int * int) list;
+      (** distinct traffic (src, dst) pairs whose path crosses this
+          (channel, VL) unit, in first-seen traffic order *)
+}
+
+type window = {
+  from_cycle : int;        (** cycle of the first sample in the window *)
+  to_cycle : int;          (** cycle of the last sample in the window *)
+  occupancy : Nue_metrics.Histogram.t;
+      (** distribution of per-link occupancies over the window's samples *)
+  mean_buffered : float;   (** mean total buffered flits per sample *)
+  peak_link_occupancy : int;
+}
+
+type report = {
+  hotspots : hotspot list;  (** most congested first; ties broken by
+                                peak occupancy, then (channel, vl) *)
+  windows : window list;    (** chronological chunks of the retained
+                                sample ring *)
+  total_flows : int;        (** distinct (src, dst) pairs in the traffic *)
+}
+
+val attribute :
+  ?top_k:int ->
+  ?windows:int ->
+  traffic:Traffic.message list ->
+  Nue_routing.Table.t ->
+  Sim.telemetry ->
+  report
+(** [attribute ~traffic table telemetry] ranks the units that held
+    flits during sampling ([top_k] defaults to 5, [windows] to 4) and
+    joins each against [table]'s paths for the distinct pairs in
+    [traffic]. Deterministic for a given telemetry + table.
+    @raise Invalid_argument if [top_k < 1] or [windows < 1]. *)
+
+val link_heat : Sim.telemetry -> Nue_netgraph.Network.t -> float array
+(** Per-duplex-pair heat in [0, 1]: the larger utilization of the
+    pair's two directed channels. Indexed like
+    {!Nue_netgraph.Network.duplex_pairs}. *)
+
+val heat_dot : Nue_routing.Table.t -> Sim.telemetry -> string
+(** Graphviz heat overlay of the table's network, colored by
+    {!link_heat}. *)
+
+val render : report -> string
+(** Terminal-friendly multi-line rendering of a report. *)

@@ -9,6 +9,7 @@ let c_delivered = Obs.counter "sim.packets_delivered"
 let c_cycles = Obs.counter "sim.cycles"
 let c_deadlocks = Obs.counter "sim.deadlocks"
 let c_samples = Obs.counter "sim.telemetry_samples"
+let c_dropped = Obs.counter "sim.packets_dropped"
 
 type config = {
   buffer_flits : int;
@@ -18,6 +19,7 @@ type config = {
   link_gbs : float;
   max_cycles : int;
   watchdog : int;
+  injection_rate : float;
 }
 
 let default_config =
@@ -27,12 +29,14 @@ let default_config =
     mtu_bytes = 2048;
     link_gbs = 4.0;
     max_cycles = 10_000_000;
-    watchdog = 20_000 }
+    watchdog = 20_000;
+    injection_rate = 1.0 }
 
 type outcome = {
   delivered_packets : int;
   total_packets : int;
   delivered_bytes : int;
+  dropped_packets : int;
   cycles : int;
   deadlock : bool;
   aggregate_gbs : float;
@@ -64,6 +68,10 @@ type telemetry = {
   sample_every : int;
   samples : sample array;
   dropped_samples : int;
+  vls : int;
+  unit_occupancy_sum : int array;
+  unit_occupancy_peak : int array;
+  occupancy_samples : int;
   link_transmits : int array;
   link_utilization : float array;
   peak_link_utilization : float;
@@ -107,6 +115,8 @@ type packet = {
 
 let run_impl ~(config : config) ~(telem : telemetry_config option)
     ~(swaps : swap list) (table : Table.t) ~traffic =
+  if not (config.injection_rate > 0.0 && config.injection_rate <= 1.0) then
+    invalid_arg "Sim.run: injection_rate must be in (0, 1]";
   let net = table.Table.net in
   let nc = Network.num_channels net in
   let nn = Network.num_nodes net in
@@ -214,6 +224,21 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
     | Some t -> Array.make (max 1 t.max_samples) None
   in
   let ring_written = ref 0 in
+  (* Per-(channel, VL) occupancy accumulators: unlike the ring, these
+     cover every sample ever taken, so congestion attribution sees the
+     whole run even when the ring wrapped. *)
+  let unit_occ_sum =
+    if telem = None then [||] else Array.make (nc * vls) 0
+  in
+  let unit_occ_peak =
+    if telem = None then [||] else Array.make (nc * vls) 0
+  in
+  (* Injection throttling: a per-node token bucket capped at one token,
+     refilled by [injection_rate] tokens per cycle; each injected flit
+     spends one. At rate 1.0 the gate is compiled out, keeping the
+     full-load path byte-identical to an unthrottled run. *)
+  let throttled = config.injection_rate < 1.0 in
+  let tokens = if throttled then Array.make nn 0.0 else [||] in
   Span.exit setup_span;
   (* Deterministic timeline for span events: while the simulator runs,
      span stamps are simulation cycles, offset so they extend the tick
@@ -235,9 +260,12 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
     let vl_occupancy = Array.make vls 0 in
     for c = 0 to nc - 1 do
       for vl = 0 to vls - 1 do
-        let q = Queue.length fifos.(unit_id c vl) in
+        let u = unit_id c vl in
+        let q = Queue.length fifos.(u) in
         link_occupancy.(c) <- link_occupancy.(c) + q;
-        vl_occupancy.(vl) <- vl_occupancy.(vl) + q
+        vl_occupancy.(vl) <- vl_occupancy.(vl) + q;
+        unit_occ_sum.(u) <- unit_occ_sum.(u) + q;
+        if q > unit_occ_peak.(u) then unit_occ_peak.(u) <- q
       done
     done;
     ring.(!ring_written mod Array.length ring) <-
@@ -366,6 +394,7 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
   in
   let try_inject c u_node =
     (not (Queue.is_empty inj_queue.(u_node)))
+    && (not throttled || tokens.(u_node) >= 1.0)
     && begin
       let pid = Queue.peek inj_queue.(u_node) in
       let p = packets.(pid) in
@@ -376,6 +405,10 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
       else if p.injected = 0 && not (route_packet pid) then begin
         ignore (Queue.pop inj_queue.(u_node));
         incr dropped_packets;
+        Obs.incr c_dropped;
+        if spans_on then
+          Span.counter "sim.packets_dropped"
+            [ ("dropped", Span.Int !dropped_packets) ];
         false
       end
       else begin
@@ -390,6 +423,7 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
           p.injected <- p.injected + 1;
           let tail = p.injected = p.flits in
           transmit c vl pid tail;
+          if throttled then tokens.(u_node) <- tokens.(u_node) -. 1.0;
           if tail then ignore (Queue.pop inj_queue.(u_node));
           true
         end
@@ -519,6 +553,10 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
     && !cycle < config.max_cycles
   do
     moved := false;
+    if throttled then
+      for n = 0 to nn - 1 do
+        tokens.(n) <- Float.min 1.0 (tokens.(n) +. config.injection_rate)
+      done;
     process_swaps ();
     for c = 0 to nc - 1 do
       arbitrate_channel c
@@ -568,6 +606,7 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
       ~args:
         [ ("cycles", Span.Int cycles);
           ("delivered", Span.Int !delivered_packets);
+          ("dropped", Span.Int !dropped_packets);
           ("deadlock", Span.Bool !deadlocked) ];
     Span.use_tick_clock ()
   end;
@@ -587,6 +626,7 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
     { delivered_packets = !delivered_packets;
       total_packets;
       delivered_bytes = !delivered_bytes;
+      dropped_packets = !dropped_packets;
       cycles;
       deadlock = !deadlocked;
       aggregate_gbs = float_of_int !delivered_bytes /. 1e9 /. seconds;
@@ -623,6 +663,10 @@ let run_impl ~(config : config) ~(telem : telemetry_config option)
         { sample_every = t.sample_every;
           samples;
           dropped_samples = !ring_written - kept;
+          vls;
+          unit_occupancy_sum = unit_occ_sum;
+          unit_occupancy_peak = unit_occ_peak;
+          occupancy_samples = !ring_written;
           link_transmits = link_tx;
           link_utilization;
           peak_link_utilization = link_utilization.(!peak_link);

@@ -29,16 +29,25 @@ type config = {
   link_gbs : float;     (** physical link rate, GB/s (QDR = 4.0) *)
   max_cycles : int;
   watchdog : int;       (** idle cycles before declaring deadlock *)
+  injection_rate : float;
+      (** offered load in (0, 1]: flits each terminal may inject per
+          cycle (a per-node token bucket capped at one token). At 1.0
+          (the default) the throttle is disabled and the run is
+          byte-identical to earlier unthrottled behavior. Rates below
+          ~1/watchdog would trip the deadlock watchdog. *)
 }
 
 val default_config : config
 (** 8-flit buffers, latency 1, 64 B flits, 2 KiB MTU, 4 GB/s links,
-    10M-cycle cap, 20k-cycle watchdog. *)
+    10M-cycle cap, 20k-cycle watchdog, injection rate 1.0. *)
 
 type outcome = {
   delivered_packets : int;
   total_packets : int;
   delivered_bytes : int;
+  dropped_packets : int;
+      (** packets dropped at injection because the active table no
+          longer routed their pair (only possible under mid-run swaps) *)
   cycles : int;
   deadlock : bool;
   aggregate_gbs : float;  (** delivered bytes over the simulated time *)
@@ -74,6 +83,14 @@ type telemetry = {
   samples : sample array;        (** chronological; the most recent
                                      [max_samples] if the run was longer *)
   dropped_samples : int;         (** samples overwritten in the ring *)
+  vls : int;                     (** VL count the unit arrays are laid
+                                     out with: unit = channel * vls + vl *)
+  unit_occupancy_sum : int array;
+      (** per-(channel, VL) occupancy summed over {e every} sample taken
+          (including ones the ring overwrote); length channels * vls *)
+  unit_occupancy_peak : int array;
+      (** per-(channel, VL) peak sampled occupancy *)
+  occupancy_samples : int;       (** samples the accumulators cover *)
   link_transmits : int array;    (** flits moved per channel *)
   link_utilization : float array;(** transmits / cycles, in [0, 1] *)
   peak_link_utilization : float;

@@ -123,3 +123,240 @@ let hotspot prng net ~hot_fraction ~messages_per_terminal ~message_bytes =
        done)
     terms;
   !acc
+
+let bit_complement net ~message_bytes =
+  let terms = Network.terminals net in
+  let t = Array.length terms in
+  let bits =
+    let rec go b = if 1 lsl (b + 1) <= t then go (b + 1) else b in
+    go 0
+  in
+  let block = 1 lsl bits in
+  let acc = ref [] in
+  for i = block - 1 downto 0 do
+    let j = block - 1 - i in
+    if j <> i then
+      acc := { src = terms.(i); dst = terms.(j); bytes = message_bytes } :: !acc
+  done;
+  !acc
+
+let adversarial_shift net ~groups ~message_bytes =
+  if groups < 2 then invalid_arg "Traffic.adversarial_shift: groups >= 2";
+  let terms = Network.terminals net in
+  let t = Array.length terms in
+  (* Block shift: terminal j of group g sends to terminal j of group
+     g+1, so a whole group's load converges on the (few) minimal links
+     toward its successor group — the classic dragonfly ADV+1 pattern,
+     which degenerates to a cross-fabric shift on other families. *)
+  let block = (t + groups - 1) / groups in
+  let acc = ref [] in
+  for i = t - 1 downto 0 do
+    let j = (i + block) mod t in
+    if j <> i then
+      acc := { src = terms.(i); dst = terms.(j); bytes = message_bytes } :: !acc
+  done;
+  !acc
+
+let incast prng net ~victims ~messages_per_source ~message_bytes =
+  let terms = Network.terminals net in
+  let t = Array.length terms in
+  if victims < 1 || victims >= t then
+    invalid_arg "Traffic.incast: victims must be in [1, terminals)";
+  let victim_idx = Prng.sample_without_replacement prng victims t in
+  let is_victim = Array.make t false in
+  Array.iter (fun i -> is_victim.(i) <- true) victim_idx;
+  let victim_terms = Array.map (fun i -> terms.(i)) victim_idx in
+  let acc = ref [] in
+  Array.iteri
+    (fun i src ->
+       if not is_victim.(i) then
+         for _ = 1 to messages_per_source do
+           let dst = victim_terms.(Prng.int prng victims) in
+           acc := { src; dst; bytes = message_bytes } :: !acc
+         done)
+    terms;
+  !acc
+
+let bursty prng net ~messages_per_terminal ~on_fraction ~burst_length
+    ~message_bytes =
+  if not (on_fraction > 0.0 && on_fraction < 1.0) then
+    invalid_arg "Traffic.bursty: on_fraction must be in (0, 1)";
+  if burst_length < 1 then invalid_arg "Traffic.bursty: burst_length >= 1";
+  let terms = Network.terminals net in
+  let t = Array.length terms in
+  (* Two-state Markov on/off source per terminal: expected ON-burst
+     length [burst_length] slots, stationary ON probability
+     [on_fraction]. Each ON slot emits one uniform-random message; the
+     slot count is sized so a source emits [messages_per_terminal]
+     messages in expectation, so the per-terminal load is bursty (heavy
+     and light sources) around the uniform-random average. *)
+  let p_off = 1.0 /. float_of_int burst_length in
+  let p_on = p_off *. on_fraction /. (1.0 -. on_fraction) in
+  let slots =
+    int_of_float
+      (ceil (float_of_int messages_per_terminal /. on_fraction))
+  in
+  let acc = ref [] in
+  Array.iter
+    (fun src ->
+       let on = ref (Prng.float prng 1.0 < on_fraction) in
+       for _ = 1 to slots do
+         if !on then begin
+           let rec pick () =
+             let d = terms.(Prng.int prng t) in
+             if d = src then pick () else d
+           in
+           acc := { src; dst = pick (); bytes = message_bytes } :: !acc;
+           if Prng.float prng 1.0 < p_off then on := false
+         end
+         else if Prng.float prng 1.0 < p_on then on := true
+       done)
+    terms;
+  !acc
+
+(* {1 Workload specs} *)
+
+type spec =
+  | All_to_all_shift
+  | Uniform of { messages_per_terminal : int }
+  | Bursty of { messages_per_terminal : int; on_fraction : float;
+                burst_length : int }
+  | Hotspot of { hot_fraction : float; messages_per_terminal : int }
+  | Incast of { victims : int; messages_per_source : int }
+  | Adversarial of { groups : int }
+  | Tornado
+  | Transpose
+  | Bit_complement
+  | Bit_reverse
+  | Random_permutation
+  | Trace of message list
+
+let spec_name = function
+  | All_to_all_shift -> "shift"
+  | Uniform _ -> "uniform"
+  | Bursty _ -> "bursty"
+  | Hotspot _ -> "hotspot"
+  | Incast _ -> "incast"
+  | Adversarial _ -> "adversarial"
+  | Tornado -> "tornado"
+  | Transpose -> "transpose"
+  | Bit_complement -> "bitcomp"
+  | Bit_reverse -> "bitrev"
+  | Random_permutation -> "permutation"
+  | Trace _ -> "trace"
+
+let spec_of_string s =
+  let name, arg =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+      (String.sub s 0 i,
+       Some (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  let int_arg ~default =
+    match arg with
+    | None -> Ok default
+    | Some a ->
+      (match int_of_string_opt a with
+       | Some v when v > 0 -> Ok v
+       | _ -> Error (Printf.sprintf "workload %s: bad parameter %S" name a))
+  in
+  let float_arg ~default =
+    match arg with
+    | None -> Ok default
+    | Some a ->
+      (match float_of_string_opt a with
+       | Some v when v > 0.0 && v < 1.0 -> Ok v
+       | _ -> Error (Printf.sprintf "workload %s: bad parameter %S" name a))
+  in
+  let ( let* ) = Result.bind in
+  match name with
+  | "shift" | "all-to-all" -> Ok All_to_all_shift
+  | "uniform" ->
+    let* m = int_arg ~default:4 in
+    Ok (Uniform { messages_per_terminal = m })
+  | "bursty" ->
+    let* m = int_arg ~default:4 in
+    Ok (Bursty { messages_per_terminal = m; on_fraction = 0.25;
+                 burst_length = 4 })
+  | "hotspot" ->
+    let* f = float_arg ~default:0.5 in
+    Ok (Hotspot { hot_fraction = f; messages_per_terminal = 4 })
+  | "incast" ->
+    let* v = int_arg ~default:1 in
+    Ok (Incast { victims = v; messages_per_source = 4 })
+  | "adversarial" ->
+    let* g = int_arg ~default:4 in
+    if g < 2 then Error "workload adversarial: groups >= 2"
+    else Ok (Adversarial { groups = g })
+  | "tornado" -> Ok Tornado
+  | "transpose" -> Ok Transpose
+  | "bitcomp" -> Ok Bit_complement
+  | "bitrev" -> Ok Bit_reverse
+  | "permutation" -> Ok Random_permutation
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown workload %S (try shift, uniform, bursty, hotspot, incast, \
+          adversarial, tornado, transpose, bitcomp, bitrev, permutation)"
+         name)
+
+let generate prng spec net ~message_bytes =
+  match spec with
+  | All_to_all_shift -> all_to_all_shift net ~message_bytes
+  | Uniform { messages_per_terminal } ->
+    uniform_random prng net ~messages_per_terminal ~message_bytes
+  | Bursty { messages_per_terminal; on_fraction; burst_length } ->
+    bursty prng net ~messages_per_terminal ~on_fraction ~burst_length
+      ~message_bytes
+  | Hotspot { hot_fraction; messages_per_terminal } ->
+    hotspot prng net ~hot_fraction ~messages_per_terminal ~message_bytes
+  | Incast { victims; messages_per_source } ->
+    incast prng net ~victims ~messages_per_source ~message_bytes
+  | Adversarial { groups } -> adversarial_shift net ~groups ~message_bytes
+  | Tornado -> tornado net ~message_bytes
+  | Transpose -> transpose net ~message_bytes
+  | Bit_complement -> bit_complement net ~message_bytes
+  | Bit_reverse -> bit_reverse net ~message_bytes
+  | Random_permutation -> permutation prng net ~message_bytes
+  | Trace messages -> messages
+
+(* {1 Trace record/replay}
+
+   Line-oriented, diff-friendly, mirroring Nue_reconfig.Event's replay
+   format: a header line, then one [msg SRC DST BYTES] per line. *)
+
+let trace_header = "# nue traffic trace v1"
+
+let trace_to_string messages =
+  let buf = Buffer.create (List.length messages * 16) in
+  Buffer.add_string buf trace_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun { src; dst; bytes } ->
+       Buffer.add_string buf (Printf.sprintf "msg %d %d %d\n" src dst bytes))
+    messages;
+  Buffer.contents buf
+
+let trace_of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go (lineno + 1) acc rest
+      else begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "msg"; src; dst; bytes ] ->
+          (match
+             (int_of_string_opt src, int_of_string_opt dst,
+              int_of_string_opt bytes)
+           with
+           | Some src, Some dst, Some bytes when bytes > 0 ->
+             go (lineno + 1) ({ src; dst; bytes } :: acc) rest
+           | _ ->
+             Error (Printf.sprintf "line %d: malformed msg %S" lineno line))
+        | _ -> Error (Printf.sprintf "line %d: expected `msg SRC DST BYTES', got %S" lineno line)
+      end
+  in
+  go 1 [] lines

@@ -54,3 +54,88 @@ val hotspot :
   message list
 (** Uniform random traffic where each message targets a single hot
     terminal with probability [hot_fraction]. *)
+
+val bit_complement : Nue_netgraph.Network.t -> message_bytes:int -> message list
+(** Terminal i sends to the terminal whose index is the bitwise
+    complement of i within the largest power-of-two block; remaining
+    terminals are idle. *)
+
+val adversarial_shift :
+  Nue_netgraph.Network.t -> groups:int -> message_bytes:int -> message list
+(** Group-shift permutation: terminals are carved into [groups]
+    contiguous blocks and every terminal sends to its counterpart in the
+    next block (the dragonfly ADV+1 pattern when [groups] equals the
+    group count; a cross-fabric block shift elsewhere). Raises
+    [Invalid_argument] if [groups < 2]. *)
+
+val incast :
+  Nue_structures.Prng.t ->
+  Nue_netgraph.Network.t ->
+  victims:int ->
+  messages_per_source:int ->
+  message_bytes:int ->
+  message list
+(** Many-to-few: [victims] terminals are chosen at random and every
+    other terminal sends [messages_per_source] messages, each to a
+    random victim. Raises [Invalid_argument] unless
+    [1 <= victims < terminals]. *)
+
+val bursty :
+  Nue_structures.Prng.t ->
+  Nue_netgraph.Network.t ->
+  messages_per_terminal:int ->
+  on_fraction:float ->
+  burst_length:int ->
+  message_bytes:int ->
+  message list
+(** Uniform-random traffic from two-state Markov on/off sources:
+    expected burst length [burst_length] slots, stationary ON
+    probability [on_fraction], sized so each source emits
+    [messages_per_terminal] messages in expectation. *)
+
+(** {1 Workload specs}
+
+    A first-class description of a workload, so the sweep harness, CLI
+    and bench suite can name generators uniformly. *)
+
+type spec =
+  | All_to_all_shift
+  | Uniform of { messages_per_terminal : int }
+  | Bursty of { messages_per_terminal : int; on_fraction : float;
+                burst_length : int }
+  | Hotspot of { hot_fraction : float; messages_per_terminal : int }
+  | Incast of { victims : int; messages_per_source : int }
+  | Adversarial of { groups : int }
+  | Tornado
+  | Transpose
+  | Bit_complement
+  | Bit_reverse
+  | Random_permutation
+  | Trace of message list
+
+val spec_name : spec -> string
+(** Short stable identifier ("incast", "bursty", ...) used in JSON and
+    CLI output. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parses ["name"] or ["name:param"] — e.g. ["incast"], ["incast:4"]
+    (victim count), ["adversarial:6"] (group count), ["hotspot:0.8"]
+    (hot fraction), ["uniform:8"] (messages per terminal). *)
+
+val generate :
+  Nue_structures.Prng.t -> spec -> Nue_netgraph.Network.t ->
+  message_bytes:int -> message list
+(** Runs the generator a spec names. Deterministic in the prng state;
+    generators that take no randomness ignore the prng. [Trace]
+    messages are returned as-is ([message_bytes] is ignored). *)
+
+(** {1 Trace record/replay}
+
+    Text format: a [# nue traffic trace v1] header, then one
+    [msg SRC DST BYTES] line per message. Blank lines and [#] comments
+    are ignored on parse. *)
+
+val trace_to_string : message list -> string
+
+val trace_of_string : string -> (message list, string) result
+(** Errors carry a 1-based line number. *)

@@ -12,6 +12,7 @@ let () =
          Test_wave3.suite;
          Test_properties.suite;
          Test_sim.suite;
+         Test_traffic.suite;
          Test_engine.suite;
          Test_obs.suite;
          Test_provenance.suite;

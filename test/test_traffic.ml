@@ -1,0 +1,367 @@
+(* Workload zoo: generator determinism (fixed seed, across pool-jobs
+   settings, across record -> replay round-trips), spec parsing, the
+   structural invariants of each pattern, and the sweep harness built on
+   top (injection throttle, dropped-packet surfacing, congestion
+   attribution, byte-identical sweep JSON). *)
+
+module Network = Nue_netgraph.Network
+module Topology = Nue_netgraph.Topology
+module Serialize = Nue_netgraph.Serialize
+module Traffic = Nue_sim.Traffic
+module Sim = Nue_sim.Sim
+module Congestion = Nue_sim.Congestion
+module Table = Nue_routing.Table
+module Prng = Nue_structures.Prng
+module Pool = Nue_parallel.Pool
+module Experiment = Nue_pipeline.Experiment
+module Json = Nue_pipeline.Json
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let net () = (Helpers.small_torus ()).Topology.net
+
+(* Every spec the zoo can name, with a deterministic parameterization. *)
+let zoo =
+  [ Traffic.All_to_all_shift;
+    Traffic.Uniform { messages_per_terminal = 3 };
+    Traffic.Bursty
+      { messages_per_terminal = 3; on_fraction = 0.25; burst_length = 4 };
+    Traffic.Hotspot { hot_fraction = 0.5; messages_per_terminal = 3 };
+    Traffic.Incast { victims = 2; messages_per_source = 3 };
+    Traffic.Adversarial { groups = 4 };
+    Traffic.Tornado;
+    Traffic.Transpose;
+    Traffic.Bit_complement;
+    Traffic.Bit_reverse;
+    Traffic.Random_permutation ]
+
+let gen ?(seed = 7) spec n =
+  Traffic.generate (Prng.create seed) spec n ~message_bytes:256
+
+let msgs_equal =
+  Alcotest.testable
+    (fun fmt l ->
+       Fmt.pf fmt "%d messages" (List.length l))
+    (fun a b ->
+       List.length a = List.length b
+       && List.for_all2
+            (fun (x : Traffic.message) (y : Traffic.message) ->
+               x.Traffic.src = y.Traffic.src
+               && x.Traffic.dst = y.Traffic.dst
+               && x.Traffic.bytes = y.Traffic.bytes)
+            a b)
+
+let test_determinism_fixed_seed () =
+  let n = net () in
+  List.iter
+    (fun spec ->
+       check msgs_equal (Traffic.spec_name spec) (gen spec n) (gen spec n))
+    zoo
+
+let test_determinism_across_jobs () =
+  let n = net () in
+  let was = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs was)
+    (fun () ->
+       List.iter
+         (fun spec ->
+            Pool.set_default_jobs 1;
+            let a = gen spec n in
+            Pool.set_default_jobs 4;
+            let b = gen spec n in
+            check msgs_equal
+              (Traffic.spec_name spec ^ " jobs 1 vs 4") a b)
+         zoo)
+
+let test_record_replay_round_trip () =
+  let n = net () in
+  List.iter
+    (fun spec ->
+       let msgs = gen spec n in
+       match Traffic.trace_of_string (Traffic.trace_to_string msgs) with
+       | Error e -> Alcotest.failf "%s: %s" (Traffic.spec_name spec) e
+       | Ok back ->
+         check msgs_equal
+           (Traffic.spec_name spec ^ " round trip") msgs back)
+    zoo
+
+let test_trace_parse_errors () =
+  (match Traffic.trace_of_string "msg 1 2\n" with
+   | Error e ->
+     checkb "line number in error" true
+       (String.length e >= 6 && String.sub e 0 6 = "line 1")
+   | Ok _ -> Alcotest.fail "short msg line must not parse");
+  (match Traffic.trace_of_string "# ok\nmsg 1 2 0\n" with
+   | Error e ->
+     checkb "zero bytes rejected with line" true
+       (String.length e >= 6 && String.sub e 0 6 = "line 2")
+   | Ok _ -> Alcotest.fail "zero-byte msg must not parse");
+  match Traffic.trace_of_string "# header only\n\n" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "comments/blanks must parse to no messages"
+  | Error e -> Alcotest.fail e
+
+let test_spec_of_string () =
+  (match Traffic.spec_of_string "incast:3" with
+   | Ok (Traffic.Incast { victims = 3; _ }) -> ()
+   | _ -> Alcotest.fail "incast:3");
+  (match Traffic.spec_of_string "adversarial:6" with
+   | Ok (Traffic.Adversarial { groups = 6 }) -> ()
+   | _ -> Alcotest.fail "adversarial:6");
+  (match Traffic.spec_of_string "hotspot:0.8" with
+   | Ok (Traffic.Hotspot { hot_fraction; _ }) ->
+     check (Alcotest.float 1e-9) "hot fraction" 0.8 hot_fraction
+   | _ -> Alcotest.fail "hotspot:0.8");
+  (match Traffic.spec_of_string "nope" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown workload must error");
+  match Traffic.spec_of_string "incast:-1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative parameter must error"
+
+let test_adversarial_shape () =
+  let n = net () in
+  let msgs =
+    gen (Traffic.Adversarial { groups = 4 }) n
+  in
+  let terms = Network.terminals n in
+  let t = Array.length terms in
+  let block = (t + 3) / 4 in
+  (* A permutation: every terminal sends and receives at most once, and
+     each destination is the sender's index shifted one block. *)
+  let pos = Hashtbl.create t in
+  Array.iteri (fun i term -> Hashtbl.add pos term i) terms;
+  checki "one message per terminal" t (List.length msgs);
+  List.iter
+    (fun (m : Traffic.message) ->
+       let i = Hashtbl.find pos m.Traffic.src in
+       checki "block shift" ((i + block) mod t)
+         (Hashtbl.find pos m.Traffic.dst))
+    msgs
+
+let test_incast_victims () =
+  let n = net () in
+  let msgs = gen (Traffic.Incast { victims = 2; messages_per_source = 3 }) n in
+  let dsts = Hashtbl.create 4 in
+  List.iter
+    (fun (m : Traffic.message) -> Hashtbl.replace dsts m.Traffic.dst ())
+    msgs;
+  checkb "at most 2 victims" true (Hashtbl.length dsts <= 2);
+  let t = Array.length (Network.terminals n) in
+  checki "every non-victim sends 3" ((t - 2) * 3) (List.length msgs);
+  List.iter
+    (fun (m : Traffic.message) ->
+       checkb "victims never send" false (Hashtbl.mem dsts m.Traffic.src))
+    msgs
+
+let test_bit_complement_involution () =
+  let n = net () in
+  let msgs = gen Traffic.Bit_complement n in
+  let dst_of = Hashtbl.create 32 in
+  List.iter
+    (fun (m : Traffic.message) ->
+       Hashtbl.replace dst_of m.Traffic.src m.Traffic.dst)
+    msgs;
+  List.iter
+    (fun (m : Traffic.message) ->
+       checki "complement is an involution" m.Traffic.src
+         (Hashtbl.find dst_of m.Traffic.dst))
+    msgs
+
+(* {1 Sim: throttle and dropped packets} *)
+
+let routed_ring () =
+  let n = Helpers.ring ~terminals:1 4 in
+  match
+    Nue_routing.Engine.route "dfsssp" (Nue_routing.Engine.spec ~vcs:4 n)
+  with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "route: %s" (Nue_routing.Engine_error.to_string e)
+
+let test_throttle_slows_run () =
+  let table = routed_ring () in
+  let traffic =
+    Traffic.all_to_all_shift table.Table.net ~message_bytes:512
+  in
+  let full = Sim.run table ~traffic in
+  let half =
+    Sim.run
+      ~config:{ Sim.default_config with Sim.injection_rate = 0.5 }
+      table ~traffic
+  in
+  checki "all delivered at full rate" full.Sim.total_packets
+    full.Sim.delivered_packets;
+  checki "all delivered at half rate" half.Sim.total_packets
+    half.Sim.delivered_packets;
+  checkb "throttled run takes more cycles" true
+    (half.Sim.cycles > full.Sim.cycles)
+
+let test_throttle_validation () =
+  let table = routed_ring () in
+  let traffic = Traffic.all_to_all_shift table.Table.net ~message_bytes:64 in
+  List.iter
+    (fun rate ->
+       Alcotest.check_raises
+         (Printf.sprintf "rate %g rejected" rate)
+         (Invalid_argument "Sim.run: injection_rate must be in (0, 1]")
+         (fun () ->
+            ignore
+              (Sim.run
+                 ~config:{ Sim.default_config with Sim.injection_rate = rate }
+                 table ~traffic)))
+    [ 0.0; -0.5; 1.5 ]
+
+let test_dropped_zero_on_clean_run () =
+  let table = routed_ring () in
+  let traffic = Traffic.all_to_all_shift table.Table.net ~message_bytes:256 in
+  let o = Sim.run table ~traffic in
+  checki "no drops without swaps" 0 o.Sim.dropped_packets;
+  match Experiment.sim_to_json o with
+  | Json.Obj fields ->
+    checkb "dropped_packets in sim json" true
+      (List.mem_assoc "dropped_packets" fields)
+  | _ -> Alcotest.fail "sim_to_json must be an object"
+
+(* {1 Congestion attribution} *)
+
+let test_congestion_attribution () =
+  let table = routed_ring () in
+  let traffic =
+    gen (Traffic.Incast { victims = 1; messages_per_source = 4 })
+      table.Table.net
+  in
+  let _, telem =
+    Sim.run_with_telemetry
+      ~telemetry:{ Sim.sample_every = 4; max_samples = 256; latency_bins = 16 }
+      table ~traffic
+  in
+  let r = Congestion.attribute ~top_k:3 ~traffic table telem in
+  checkb "hotspots found under incast" true (r.Congestion.hotspots <> []);
+  checkb "windows non-empty" true (r.Congestion.windows <> []);
+  (* Every attributed flow must actually cross the unit it is blamed
+     for, per the routing table. *)
+  List.iter
+    (fun (h : Congestion.hotspot) ->
+       List.iter
+         (fun (src, dst) ->
+            match Table.path_with_vls table ~src ~dest:dst with
+            | None -> Alcotest.fail "attributed flow is unrouted"
+            | Some hops ->
+              checkb "flow crosses its hotspot unit" true
+                (List.exists
+                   (fun (c, vl) ->
+                      c = h.Congestion.stat.Congestion.channel
+                      && vl = h.Congestion.stat.Congestion.vl)
+                   hops))
+         h.Congestion.flows)
+    r.Congestion.hotspots;
+  (* Ranking is by mean occupancy, descending. *)
+  let rec descending = function
+    | (a : Congestion.hotspot) :: (b :: _ as rest) ->
+      checkb "ranked by mean occupancy" true
+        (a.Congestion.stat.Congestion.mean_occupancy
+         >= b.Congestion.stat.Congestion.mean_occupancy);
+      descending rest
+    | _ -> ()
+  in
+  descending r.Congestion.hotspots;
+  let heat = Congestion.link_heat telem table.Table.net in
+  checki "one heat value per duplex pair"
+    (Array.length (Network.duplex_pairs table.Table.net))
+    (Array.length heat);
+  Array.iter
+    (fun h -> checkb "heat in [0,1]" true (h >= 0.0 && h <= 1.0))
+    heat;
+  let dot = Congestion.heat_dot table telem in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i =
+      i + n <= h && (String.sub hay i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  checkb "heat dot has penwidth" true (contains dot "penwidth")
+
+(* {1 Sweep harness} *)
+
+let sweep_built () =
+  Experiment.build
+    (Experiment.setup ~seed:3
+       (Experiment.Torus3d { dims = (3, 3, 2); terminals = 1; redundancy = 1 }))
+
+let run_sweep () =
+  Experiment.sweep ~vcs:4 ~loads:[ 0.25; 0.5; 1.0 ] ~message_bytes:256
+    ~workload:(Traffic.Incast { victims = 1; messages_per_source = 4 })
+    ~engine:"nue" (sweep_built ())
+
+let test_sweep_deterministic () =
+  match (run_sweep (), run_sweep ()) with
+  | Ok a, Ok b ->
+    check Alcotest.string "sweep json byte-identical"
+      (Json.to_string (Experiment.sweep_to_json a))
+      (Json.to_string (Experiment.sweep_to_json b))
+  | _ -> Alcotest.fail "sweep must route nue on the torus"
+
+let test_sweep_knee_and_hotspots () =
+  match run_sweep () with
+  | Error e -> Alcotest.failf "sweep: %s" (Nue_routing.Engine_error.to_string e)
+  | Ok s ->
+    checki "three points" 3 (List.length s.Experiment.points);
+    let loads = List.map (fun p -> p.Experiment.offered_load) s.Experiment.points in
+    checkb "offered loads ascend" true
+      (loads = List.sort compare loads);
+    (match s.Experiment.sweep_knee with
+     | None -> Alcotest.fail "incast on the 3x3x2 torus must show a knee"
+     | Some k ->
+       checkb "knee at a swept load" true
+         (List.mem k.Experiment.knee_load loads));
+    checkb "hotspot list non-empty under incast" true
+      (s.Experiment.congestion.Congestion.hotspots <> []);
+    checkb "some hotspot names its flows" true
+      (List.exists
+         (fun (h : Congestion.hotspot) -> h.Congestion.flows <> [])
+         s.Experiment.congestion.Congestion.hotspots)
+
+let test_sweep_validation () =
+  let b = sweep_built () in
+  List.iter
+    (fun loads ->
+       checkb "bad loads raise" true
+         (match Experiment.sweep ~loads ~engine:"nue" b with
+          | exception Invalid_argument _ -> true
+          | _ -> false))
+    [ []; [ 0.5; 0.5 ]; [ 0.8; 0.4 ]; [ 0.0; 1.0 ]; [ 0.5; 1.5 ] ]
+
+let suite =
+  [ ("traffic:zoo",
+     [ Alcotest.test_case "fixed seed determinism" `Quick
+         test_determinism_fixed_seed;
+       Alcotest.test_case "jobs 1 vs 4 determinism" `Quick
+         test_determinism_across_jobs;
+       Alcotest.test_case "record/replay round trip" `Quick
+         test_record_replay_round_trip;
+       Alcotest.test_case "trace parse errors" `Quick test_trace_parse_errors;
+       Alcotest.test_case "spec_of_string" `Quick test_spec_of_string;
+       Alcotest.test_case "adversarial block shift" `Quick
+         test_adversarial_shape;
+       Alcotest.test_case "incast victims" `Quick test_incast_victims;
+       Alcotest.test_case "bit-complement involution" `Quick
+         test_bit_complement_involution ]);
+    ("traffic:sim",
+     [ Alcotest.test_case "throttle slows the run" `Quick
+         test_throttle_slows_run;
+       Alcotest.test_case "throttle validation" `Quick
+         test_throttle_validation;
+       Alcotest.test_case "dropped is zero and surfaced" `Quick
+         test_dropped_zero_on_clean_run;
+       Alcotest.test_case "congestion attribution" `Quick
+         test_congestion_attribution ]);
+    ("traffic:sweep",
+     [ Alcotest.test_case "byte-identical sweeps" `Quick
+         test_sweep_deterministic;
+       Alcotest.test_case "knee and hotspots" `Quick
+         test_sweep_knee_and_hotspots;
+       Alcotest.test_case "load validation" `Quick test_sweep_validation ]) ]
